@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Extension experiment (the paper's stated future work, Sections 1
+ * and 8): online model refinement.
+ *
+ * The static profile cannot see the Dom0 fluctuation that makes
+ * M.Gems and its fluctuating-CPU partners the worst-predicted
+ * workloads of Fig. 8/9. This harness replays a stream of co-run
+ * observations into an OnlineRefiner and reports the prediction error
+ * of the static model vs the refined model over the *next*
+ * observations (train on a prefix, evaluate on the rest — no
+ * peeking).
+ *
+ * Usage: ablation_online [--apps M.Gems,H.KM,S.PR] [--train 10]
+ *                        [--eval 10] [--seed S] [--reps N]
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/online.hpp"
+
+using namespace imc;
+
+int
+main(int argc, char** argv)
+{
+    const Cli cli(argc, argv);
+    auto cfg = benchutil::config_from_cli(cli);
+    if (!cli.has("reps"))
+        cfg.reps = 1; // each observation is a single production run
+    const int train = cli.get_int("train", 25);
+    const int eval_n = cli.get_int("eval", 10);
+
+    std::vector<std::string> abbrevs = cli.get_list("apps");
+    if (abbrevs.empty())
+        abbrevs = {"M.Gems", "H.KM", "S.PR", "S.WC"};
+
+    std::cout << "Extension: online refinement vs static profile\n"
+              << "(cluster=" << cfg.cluster.name
+              << ", train=" << train << " observations, eval="
+              << eval_n << ", seed=" << cfg.seed << ")\n\n";
+
+    core::ModelRegistry registry(cfg, core::ModelBuildOptions{});
+    const auto nodes = workload::all_nodes(cfg.cluster);
+    const int m = cfg.cluster.num_nodes;
+
+    // Observations come from co-runs with M.Gems — the co-runner whose
+    // generated interference fluctuates (Section 4.3).
+    const auto& gems = workload::find_app("M.Gems");
+    const double gems_score =
+        registry.model(gems, m).model.bubble_score();
+
+    Table table({"app", "static err(%)", "refined err(%)",
+                 "improvement"});
+    for (const auto& abbrev : abbrevs) {
+        const auto& app = workload::find_app(abbrev);
+        core::OnlineRefiner refiner(
+            registry.model(app, m).model,
+            cli.get_double("alpha", 0.15));
+        const std::vector<double> pressures(
+            static_cast<std::size_t>(m), gems_score);
+
+        workload::RunConfig solo_cfg = cfg;
+        solo_cfg.salt = hash_string("online-solo:" + abbrev);
+        solo_cfg.reps = 3;
+        const double solo =
+            workload::run_solo_time(app, nodes, solo_cfg);
+
+        auto observe_once = [&](int index) {
+            workload::RunConfig run_cfg = cfg;
+            run_cfg.salt = hash_combine(
+                hash_string("online:" + abbrev),
+                static_cast<std::uint64_t>(index));
+            return workload::run_corun_time(
+                       app, nodes,
+                       {workload::Deployment{gems, nodes}}, run_cfg) /
+                   solo;
+        };
+
+        // Train.
+        for (int i = 0; i < train; ++i)
+            refiner.observe(pressures, observe_once(i));
+
+        // Evaluate on fresh runs.
+        OnlineStats static_err;
+        OnlineStats refined_err;
+        for (int i = 0; i < eval_n; ++i) {
+            const double actual = observe_once(train + i);
+            static_err.add(abs_pct_error(
+                refiner.predict_static(pressures), actual));
+            refined_err.add(
+                abs_pct_error(refiner.predict(pressures), actual));
+        }
+        const double gain =
+            static_err.mean() - refined_err.mean();
+        table.add_row({abbrev, fmt_fixed(static_err.mean(), 2),
+                       fmt_fixed(refined_err.mean(), 2),
+                       (gain >= 0 ? "-" : "+") +
+                           fmt_fixed(std::abs(gain), 2) + " pts"});
+    }
+    table.print(std::cout);
+    std::cout << "\n(observations are co-runs with M.Gems, whose "
+                 "generated interference fluctuates; the refiner "
+                 "learns the systematic bias the static profile "
+                 "misses)\n";
+    return 0;
+}

@@ -1,0 +1,111 @@
+#include "bench_util.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace imc::benchutil {
+
+workload::RunConfig
+config_from_cli(const Cli& cli, bool ec2)
+{
+    workload::RunConfig cfg;
+    cfg.cluster = ec2 ? sim::ClusterSpec::ec2_32()
+                      : sim::ClusterSpec::private8();
+    cfg.seed = cli.get_u64("seed", 42);
+    cfg.reps = cli.get_int("reps", 3);
+    return cfg;
+}
+
+std::vector<workload::AppSpec>
+apps_from_cli(const Cli& cli)
+{
+    const auto names = cli.get_list("apps");
+    if (names.empty())
+        return workload::distributed_apps();
+    std::vector<workload::AppSpec> apps;
+    for (const auto& name : names)
+        apps.push_back(workload::find_app(name));
+    return apps;
+}
+
+std::vector<AlgoOutcome>
+profiling_campaign(const workload::AppSpec& app,
+                   const workload::RunConfig& cfg, double epsilon)
+{
+    const auto nodes = workload::all_nodes(cfg.cluster);
+    core::ProfileOptions opts;
+    opts.hosts = cfg.cluster.num_nodes;
+    opts.epsilon = epsilon;
+
+    // Exhaustive ground truth (cached measures shared per algorithm
+    // run would couple the cost accounting, so each algorithm gets a
+    // fresh counting wrapper over the same deterministic measure).
+    core::CountingMeasure truth_measure(
+        core::make_cluster_measure(app, nodes, cfg, opts.grid));
+    const auto truth = core::profile_exhaustive(truth_measure, opts);
+
+    std::vector<AlgoOutcome> out;
+    for (const auto algorithm :
+         {core::ProfileAlgorithm::BinaryOptimized,
+          core::ProfileAlgorithm::BinaryBrute,
+          core::ProfileAlgorithm::Random50,
+          core::ProfileAlgorithm::Random30}) {
+        core::CountingMeasure measure(
+            core::make_cluster_measure(app, nodes, cfg, opts.grid));
+        const auto result = core::run_profiler(
+            algorithm, measure, opts,
+            hash_combine(cfg.seed,
+                         hash_string(core::to_string(algorithm) + ":" +
+                                     app.abbrev)));
+        AlgoOutcome outcome;
+        outcome.algorithm = algorithm;
+        outcome.cost_pct = 100.0 * result.cost();
+        outcome.error_pct =
+            core::matrix_error_pct(result.matrix, truth.matrix);
+        out.push_back(outcome);
+    }
+    return out;
+}
+
+std::vector<ValidationSample>
+validate_pairwise(core::ModelRegistry& registry,
+                  const workload::AppSpec& target,
+                  const std::vector<workload::AppSpec>& corunners)
+{
+    const auto& cfg = registry.config();
+    const auto nodes = workload::all_nodes(cfg.cluster);
+    const int m = cfg.cluster.num_nodes;
+    const auto& target_model = registry.model(target, m);
+
+    workload::RunConfig solo_cfg = cfg;
+    solo_cfg.salt = hash_string("validate-solo:" + target.abbrev);
+    const double solo =
+        workload::run_solo_time(target, nodes, solo_cfg);
+
+    std::vector<ValidationSample> out;
+    for (const auto& corunner : corunners) {
+        const double score =
+            registry.model(corunner, m).model.bubble_score();
+        const std::vector<double> pressures(
+            static_cast<std::size_t>(m), score);
+        ValidationSample sample;
+        sample.target = target.abbrev;
+        sample.corunner = corunner.abbrev;
+        sample.predicted = target_model.model.predict(pressures);
+
+        workload::RunConfig corun_cfg = cfg;
+        corun_cfg.salt = hash_string("validate:" + target.abbrev +
+                                     "/" + corunner.abbrev);
+        sample.actual =
+            workload::run_corun_time(
+                target, nodes,
+                {workload::Deployment{corunner, nodes}}, corun_cfg) /
+            solo;
+        sample.error_pct = abs_pct_error(sample.predicted,
+                                         sample.actual);
+        out.push_back(sample);
+    }
+    return out;
+}
+
+} // namespace imc::benchutil

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reproduces Figure 3: normalized execution time of each distributed
+ * application under homogeneous bubble interference, as the number of
+ * interfering nodes grows from 0 to 8 and the bubble pressure from 1
+ * to 8.
+ *
+ * The paper's observed propagation classes this bench should show:
+ *  - high propagation (most MPI/NPB apps): a large jump at 1-2
+ *    interfering nodes, then a slow further rise;
+ *  - proportional propagation (M.Gems): a near-linear rise with the
+ *    number of interfering nodes;
+ *  - low propagation (H.KM, S.PR): close to 1.0 throughout.
+ *
+ * Usage: fig03_propagation [--apps A,B,...] [--reps N] [--seed S]
+ *                          [--pressures 2,5,8] [--csv]
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/chart.hpp"
+#include "common/cli.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "workload/catalog.hpp"
+#include "workload/runner.hpp"
+
+using namespace imc;
+
+int
+main(int argc, char** argv)
+{
+    const Cli cli(argc, argv);
+    workload::RunConfig cfg;
+    cfg.seed = cli.get_u64("seed", 42);
+    cfg.reps = cli.get_int("reps", 3);
+
+    std::vector<std::string> abbrevs = cli.get_list("apps");
+    if (abbrevs.empty()) {
+        for (const auto& app : workload::distributed_apps())
+            abbrevs.push_back(app.abbrev);
+    }
+    std::vector<int> pressures;
+    const auto plist = cli.get_list("pressures");
+    if (plist.empty()) {
+        for (int p = 1; p <= 8; ++p)
+            pressures.push_back(p);
+    } else {
+        for (const auto& p : plist)
+            pressures.push_back(std::stoi(p));
+    }
+
+    const auto nodes = workload::all_nodes(cfg.cluster);
+    const int m = cfg.cluster.num_nodes;
+
+    std::cout << "Figure 3: interference propagation "
+              << "(cluster=" << cfg.cluster.name
+              << ", seed=" << cfg.seed << ", reps=" << cfg.reps << ")\n"
+              << "Normalized execution time vs number of interfering "
+                 "nodes, one series per bubble pressure.\n\n";
+
+    Table csv({"app", "pressure", "interfering_nodes", "norm_time"});
+    for (const auto& abbrev : abbrevs) {
+        const auto& app = workload::find_app(abbrev);
+        SeriesChart chart(abbrev + " (" + app.name + ")",
+                          "nodes");
+        std::vector<std::size_t> series;
+        for (int p : pressures)
+            series.push_back(chart.add_series("P" + std::to_string(p)));
+
+        for (std::size_t pi = 0; pi < pressures.size(); ++pi) {
+            const int p = pressures[pi];
+            for (int j = 0; j <= m; ++j) {
+                std::vector<double> vec(static_cast<std::size_t>(m), 0.0);
+                for (int n = 0; n < j; ++n)
+                    vec[static_cast<std::size_t>(n)] = p;
+                const double t =
+                    workload::run_with_bubbles_norm(app, nodes, vec, cfg);
+                chart.add_point(series[pi], j, t);
+                csv.add_row({abbrev, std::to_string(p),
+                             std::to_string(j), fmt_fixed(t, 4)});
+            }
+        }
+        chart.print(std::cout);
+        std::cout << '\n';
+    }
+    if (cli.has("csv")) {
+        std::cout << "--- CSV ---\n";
+        csv.print_csv(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Figure 12: propagation curves on the Amazon EC2 profile
+ * (32 VMs, c4.2xlarge analogue). The number of interfering VMs is
+ * swept over {0,1,2,4,8,16,24,32} as in the paper, with unmeasured
+ * background interference from other tenants' VMs present in every
+ * run.
+ *
+ * Usage: fig12_ec2_propagation [--apps M.milc,M.Gems,M.zeus,M.lu]
+ *                              [--pressures 2,5,8] [--seed S]
+ *                              [--reps N]
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/chart.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+using namespace imc;
+
+int
+main(int argc, char** argv)
+{
+    const Cli cli(argc, argv);
+    const auto cfg = benchutil::config_from_cli(cli, /*ec2=*/true);
+
+    std::vector<std::string> abbrevs = cli.get_list("apps");
+    if (abbrevs.empty())
+        abbrevs = {"M.milc", "M.Gems", "M.zeus", "M.lu"};
+    std::vector<int> pressures;
+    for (const auto& p : cli.get_list("pressures"))
+        pressures.push_back(std::stoi(p));
+    if (pressures.empty())
+        pressures = {1, 2, 4, 6, 8};
+    const std::vector<int> vm_counts{0, 1, 2, 4, 8, 16, 24, 32};
+
+    const auto nodes = workload::all_nodes(cfg.cluster);
+    std::cout << "Figure 12: execution time with varying bubble "
+                 "pressures, 0-32 interfering VMs on "
+              << cfg.cluster.name << "\n(seed=" << cfg.seed
+              << ", reps=" << cfg.reps
+              << ", background sigma=" << cfg.cluster.background_sigma
+              << ")\n\n";
+
+    for (const auto& abbrev : abbrevs) {
+        const auto& app = workload::find_app(abbrev);
+        SeriesChart chart(abbrev + " (" + app.name + ")",
+                          "interfering VMs");
+        std::vector<std::size_t> series;
+        for (int p : pressures)
+            series.push_back(chart.add_series("P" + std::to_string(p)));
+        for (std::size_t pi = 0; pi < pressures.size(); ++pi) {
+            for (int j : vm_counts) {
+                std::vector<double> vec(
+                    static_cast<std::size_t>(cfg.cluster.num_nodes),
+                    0.0);
+                for (int n = 0; n < j; ++n)
+                    vec[static_cast<std::size_t>(n)] = pressures[pi];
+                const double t = workload::run_with_bubbles_norm(
+                    app, nodes, vec, cfg);
+                chart.add_point(series[pi], j, t);
+            }
+        }
+        chart.print(std::cout);
+        std::cout << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Google-benchmark micro benchmarks of the library's hot paths: the
+ * discrete-event engine, the contention solver, model prediction, and
+ * the annealing search — the costs a deployer of this library pays at
+ * placement-decision time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/model.hpp"
+#include "placement/annealer.hpp"
+#include "placement/evaluator.hpp"
+#include "sim/contention.hpp"
+#include "workload/catalog.hpp"
+#include "workload/runner.hpp"
+
+using namespace imc;
+
+namespace {
+
+/** Synthetic high-propagation matrix of a given size. */
+core::SensitivityMatrix
+make_matrix(int levels, int hosts)
+{
+    std::vector<std::vector<double>> rows;
+    for (int p = 1; p <= levels; ++p) {
+        std::vector<double> row{1.0};
+        for (int j = 1; j <= hosts; ++j)
+            row.push_back(1.0 + 0.1 * p * (0.8 + 0.2 * j / hosts));
+        rows.push_back(std::move(row));
+    }
+    return core::SensitivityMatrix(std::move(rows));
+}
+
+void
+BM_ContentionSolve(benchmark::State& state)
+{
+    const sim::NodeResources node{20.0, 30.0, 0.75};
+    std::vector<sim::TenantDemand> tenants(
+        static_cast<std::size_t>(state.range(0)));
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        tenants[i].gen_mb = 4.0 + 2.0 * i;
+        tenants[i].need_mb = 6.0 + 1.5 * i;
+        tenants[i].bw_gbps = 3.0 + i;
+        tenants[i].mem_intensity = 0.5;
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::solve_contention(node, tenants));
+    }
+}
+BENCHMARK(BM_ContentionSolve)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_ModelPredict(benchmark::State& state)
+{
+    const core::InterferenceModel model(
+        "bench", make_matrix(8, 8), core::HeteroPolicy::NPlus1Max,
+        3.0);
+    const std::vector<double> pressures{4.3, 2.1, 0.0, 6.6, 0.2, 0.0,
+                                        1.4, 3.9};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.predict(pressures));
+    }
+}
+BENCHMARK(BM_ModelPredict);
+
+void
+BM_MatrixLookup(benchmark::State& state)
+{
+    const auto matrix = make_matrix(8, 8);
+    double x = 0.1;
+    for (auto _ : state) {
+        x = x >= 7.9 ? 0.1 : x + 0.37;
+        benchmark::DoNotOptimize(matrix.lookup(x, x));
+    }
+}
+BENCHMARK(BM_MatrixLookup);
+
+void
+BM_SimulatedAppRun(benchmark::State& state)
+{
+    // Full 32-VM BSP application run on the 8-node cluster: the unit
+    // of every profiling measurement.
+    const auto& app = workload::find_app("M.milc");
+    workload::RunConfig cfg;
+    cfg.reps = 1;
+    const auto nodes = workload::all_nodes(cfg.cluster);
+    std::uint64_t salt = 0;
+    for (auto _ : state) {
+        cfg.salt = ++salt;
+        benchmark::DoNotOptimize(
+            workload::run_solo_time(app, nodes, cfg));
+    }
+}
+BENCHMARK(BM_SimulatedAppRun)->Unit(benchmark::kMillisecond);
+
+void
+BM_AnnealSearch(benchmark::State& state)
+{
+    // Annealing over a synthetic evaluator — the pure search cost.
+    class LinearEvaluator : public placement::Evaluator {
+      public:
+        std::vector<double>
+        predict(const placement::Placement& p) const override
+        {
+            const std::vector<double> scores{4.0, 2.0, 0.5, 6.0};
+            const auto lists = p.pressure_lists(scores);
+            std::vector<double> out;
+            for (const auto& list : lists) {
+                double sum = 0.0;
+                for (double v : list)
+                    sum += v;
+                out.push_back(1.0 + 0.03 * sum);
+            }
+            return out;
+        }
+    };
+    const LinearEvaluator eval;
+    std::vector<placement::Instance> instances{
+        {workload::find_app("M.milc"), 4},
+        {workload::find_app("M.Gems"), 4},
+        {workload::find_app("H.KM"), 4},
+        {workload::find_app("C.libq"), 4},
+    };
+    Rng rng(3);
+    const auto initial = placement::Placement::random(
+        instances, sim::ClusterSpec::private8(), rng);
+    placement::AnnealOptions opts;
+    opts.iterations = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            placement::anneal(initial, eval,
+                              placement::Goal::MinimizeTotalTime,
+                              std::nullopt, opts));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AnnealSearch)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

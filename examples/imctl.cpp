@@ -1,0 +1,199 @@
+/**
+ * @file
+ * imctl — a small operator CLI over the whole library, showing how a
+ * deployment would actually drive it: profile once, save the models,
+ * then predict and place from the saved profiles without touching the
+ * cluster again.
+ *
+ * Subcommands (first positional argument):
+ *
+ *   profile --app M.milc --out milc.model [--nodes 8]
+ *       Build the app's interference model and save it.
+ *
+ *   show --model milc.model
+ *       Print a saved model: policy, score, sensitivity matrix.
+ *
+ *   predict --model milc.model --pressures 6.6,0,0,0,3.9,0,0,0
+ *       Predict the normalized runtime under a per-node pressure
+ *       list (also prints the naive proportional baseline).
+ *
+ *   place --apps N.mg,C.libq,H.KM,M.lmps [--qos 0 --target 0.8]
+ *       Profile (or reuse cached) models for a four-workload mix and
+ *       run the interference-aware placement search.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/registry.hpp"
+#include "core/serialize.hpp"
+#include "placement/annealer.hpp"
+#include "placement/evaluator.hpp"
+#include "workload/catalog.hpp"
+
+using namespace imc;
+
+namespace {
+
+int
+cmd_profile(const Cli& cli)
+{
+    workload::RunConfig cfg;
+    cfg.seed = cli.get_u64("seed", 42);
+    cfg.reps = cli.get_int("reps", 3);
+    const auto& app = workload::find_app(cli.get("app", "M.milc"));
+    const int nodes = cli.get_int("nodes", cfg.cluster.num_nodes);
+    const std::string out =
+        cli.get("out", app.abbrev + ".model");
+
+    std::cout << "Profiling " << app.abbrev << " at " << nodes
+              << "-node deployment...\n";
+    core::ModelRegistry registry(cfg, core::ModelBuildOptions{});
+    const auto& built = registry.model(app, nodes);
+    core::save_model_file(out, built.model);
+    std::cout << "Saved to " << out << "\n  policy "
+              << core::to_string(built.model.policy()) << ", score "
+              << fmt_fixed(built.model.bubble_score(), 1)
+              << ", profiling cost "
+              << fmt_pct(built.profile_cost, 1) << " of settings\n";
+    return 0;
+}
+
+int
+cmd_show(const Cli& cli)
+{
+    const auto model =
+        core::load_model_file(cli.get("model", "model.txt"));
+    std::cout << "app:    " << model.app() << '\n'
+              << "policy: " << core::to_string(model.policy()) << '\n'
+              << "score:  " << fmt_fixed(model.bubble_score(), 2)
+              << "\nsensitivity matrix (rows = bubble pressure, "
+                 "columns = interfering nodes):\n";
+    const auto& matrix = model.matrix();
+    std::vector<std::string> headers{"pressure"};
+    for (int j = 0; j <= matrix.hosts(); ++j)
+        headers.push_back("j=" + std::to_string(j));
+    Table table(headers);
+    for (int i = 1; i <= matrix.pressure_levels(); ++i) {
+        std::vector<std::string> row{fmt_fixed(
+            matrix.pressures()[static_cast<std::size_t>(i - 1)], 1)};
+        for (int j = 0; j <= matrix.hosts(); ++j)
+            row.push_back(fmt_fixed(matrix.at(i, j), 3));
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmd_predict(const Cli& cli)
+{
+    const auto model =
+        core::load_model_file(cli.get("model", "model.txt"));
+    std::vector<double> pressures;
+    for (const auto& p : cli.get_list("pressures"))
+        pressures.push_back(std::stod(p));
+    if (pressures.empty()) {
+        std::cerr << "predict: --pressures p1,p2,... required\n";
+        return 2;
+    }
+    std::cout << "policy " << core::to_string(model.policy())
+              << " converts [";
+    for (std::size_t i = 0; i < pressures.size(); ++i)
+        std::cout << (i ? "," : "") << fmt_fixed(pressures[i], 1);
+    const auto homog = core::convert(model.policy(), pressures);
+    std::cout << "] -> " << fmt_fixed(homog.nodes, 0) << " nodes @ "
+              << fmt_fixed(homog.pressure, 2) << '\n';
+    std::cout << "predicted normalized time: "
+              << fmt_fixed(model.predict(pressures), 3) << "x\n"
+              << "naive proportional baseline: "
+              << fmt_fixed(core::predict_naive(model.matrix(),
+                                               pressures),
+                           3)
+              << "x\n";
+    return 0;
+}
+
+int
+cmd_place(const Cli& cli)
+{
+    workload::RunConfig cfg;
+    cfg.seed = cli.get_u64("seed", 42);
+    cfg.reps = cli.get_int("reps", 2);
+    auto names = cli.get_list("apps");
+    if (names.empty())
+        names = {"N.mg", "C.libq", "H.KM", "M.lmps"};
+
+    std::vector<placement::Instance> instances;
+    for (const auto& name : names)
+        instances.push_back(
+            placement::Instance{workload::find_app(name), 4});
+
+    core::ModelRegistry registry(cfg, core::ModelBuildOptions{});
+    const placement::ModelEvaluator evaluator(registry, instances);
+
+    Rng rng(cfg.seed);
+    auto initial =
+        placement::Placement::random(instances, cfg.cluster, rng);
+    placement::AnnealOptions opts;
+    opts.iterations = cli.get_int("iters", 4000);
+    opts.seed = cfg.seed + 1;
+
+    std::optional<placement::QosConstraint> qos;
+    if (cli.has("qos")) {
+        qos = placement::QosConstraint{
+            cli.get_int("qos", 0),
+            1.0 / cli.get_double("target", 0.8)};
+    }
+    const auto found = placement::anneal(
+        initial, evaluator, placement::Goal::MinimizeTotalTime, qos,
+        opts);
+
+    std::cout << "placement: " << found.placement.to_string() << '\n';
+    const auto times = evaluator.predict(found.placement);
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        std::cout << "  " << pad_right(names[i], 8) << " predicted "
+                  << fmt_fixed(times[i], 3) << "x\n";
+    }
+    if (qos) {
+        std::cout << "QoS (" << names[static_cast<std::size_t>(
+                                    qos->instance)]
+                  << " <= " << fmt_fixed(qos->max_norm_time, 3)
+                  << "): " << (found.qos_met ? "met" : "NOT met")
+                  << '\n';
+    }
+    return found.qos_met ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: imctl <profile|show|predict|place> "
+                     "[options]\n";
+        return 2;
+    }
+    const std::string command = argv[1];
+    const Cli cli(argc - 1, argv + 1);
+    try {
+        if (command == "profile")
+            return cmd_profile(cli);
+        if (command == "show")
+            return cmd_show(cli);
+        if (command == "predict")
+            return cmd_predict(cli);
+        if (command == "place")
+            return cmd_place(cli);
+        std::cerr << "imctl: unknown command '" << command << "'\n";
+        return 2;
+    } catch (const Error& e) {
+        std::cerr << "imctl: " << e.what() << '\n';
+        return 1;
+    }
+}

@@ -1,0 +1,61 @@
+#include "bubble/bubble.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace imc::bubble {
+
+sim::TenantDemand
+bubble_demand(double pressure)
+{
+    sim::TenantDemand d;
+    if (pressure <= 0.0)
+        return d; // zero demand: no bubble
+    // Concave growth: the marginal damage of one extra pressure level
+    // shrinks toward the top of the scale, as with real bubbles whose
+    // additional misses increasingly contend with their own traffic.
+    const double frac = std::pow(pressure / 8.0, 0.7);
+    d.gen_mb = 2.0 + 24.0 * frac;
+    d.need_mb = d.gen_mb;
+    d.bw_gbps = 1.0 + 29.0 * frac;
+    d.mem_intensity = kBubbleMemIntensity;
+    d.cache_gamma = 1.0;
+    return d;
+}
+
+double
+combine_pressures(const std::vector<double>& pressures)
+{
+    double total_gen = 0.0;
+    double max_p = 0.0;
+    int live = 0;
+    for (double p : pressures) {
+        if (p <= 0.0)
+            continue;
+        total_gen += bubble_demand(p).gen_mb;
+        max_p = std::max(max_p, p);
+        ++live;
+    }
+    if (live == 0)
+        return 0.0;
+    if (live == 1)
+        return max_p;
+    // Invert the monotone gen curve by bisection: find s with
+    // gen(s) == total_gen, capped at twice the top profiled level
+    // (beyond that every model lookup clamps anyway).
+    double lo = max_p;
+    double hi = 16.0;
+    if (bubble_demand(hi).gen_mb <= total_gen)
+        return hi;
+    for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (bubble_demand(mid).gen_mb < total_gen) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace imc::bubble

@@ -1,0 +1,67 @@
+#ifndef IMC_BUBBLE_BUBBLE_HPP
+#define IMC_BUBBLE_BUBBLE_HPP
+
+/**
+ * @file
+ * The bubble: a parameterized interference-generation program
+ * (Mars et al., Bubble-Up; adopted by the paper in Section 2.1).
+ *
+ * A bubble at pressure p exercises the memory subsystem with a cache
+ * footprint and bandwidth demand that grow monotonically with p.
+ * The paper's bubble doubles its LLC miss *count* per score step
+ * (Section 4.4); in this abstract contention model the equivalent
+ * knob is the effective footprint/traffic pair, which grows linearly
+ * so that the victim-slowdown response stays graded across the whole
+ * 1..8 range (a substitution documented in DESIGN.md). What the
+ * methodology requires of the scale is only that it is monotone and
+ * invertible: pressure is continuous so measured bubble scores
+ * (Table 4 reports values like 0.2 or 6.6) map back onto equivalent
+ * bubbles.
+ */
+
+#include <vector>
+
+#include "sim/contention.hpp"
+
+namespace imc::bubble {
+
+/** Number of discrete pressure levels used in profiling (1..8). */
+constexpr int kMaxPressure = 8;
+
+/** Memory intensity of the bubble program itself. */
+constexpr double kBubbleMemIntensity = 0.85;
+
+/**
+ * Shared-resource demand of a bubble running at the given pressure.
+ *
+ * Pressure is continuous and clamped below at 0 (no bubble); the
+ * footprint/traffic pair grows concavely toward the top of the scale
+ * (see the file comment).
+ */
+sim::TenantDemand bubble_demand(double pressure);
+
+/**
+ * Combine the bubble-score pressures of multiple co-located tenants
+ * into one equivalent pressure (the Section 4.4 "pairwise
+ * interaction" extension: to support more than two applications per
+ * node, individual scores must merge into a single score). The
+ * combination is demand-additive: the equivalent pressure is the one
+ * whose bubble generates the summed footprint of the constituents,
+ * found by inverting the monotone demand curve. Combining a single
+ * pressure returns it unchanged; an empty list is pressure 0.
+ */
+double combine_pressures(const std::vector<double>& pressures);
+
+/**
+ * Work performed per reporter segment when the bubble is used as a
+ * measurement probe (bubble score measurement runs the bubble *as* the
+ * victim and observes its own slowdown).
+ */
+constexpr double kReporterWork = 30.0;
+
+/** Pressure level the reporter probe runs at. */
+constexpr double kReporterPressure = 3.0;
+
+} // namespace imc::bubble
+
+#endif // IMC_BUBBLE_BUBBLE_HPP

@@ -1,0 +1,95 @@
+#include "common/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace imc {
+
+BarChart::BarChart(std::string title, std::string unit)
+    : title_(std::move(title)), unit_(std::move(unit))
+{
+}
+
+void
+BarChart::add(const std::string& label, double value)
+{
+    bars_.emplace_back(label, value);
+}
+
+void
+BarChart::print(std::ostream& os, std::size_t max_width) const
+{
+    os << title_ << '\n';
+    if (bars_.empty()) {
+        os << "  (no data)\n";
+        return;
+    }
+    std::size_t label_w = 0;
+    double max_v = 0.0;
+    for (const auto& [label, value] : bars_) {
+        label_w = std::max(label_w, label.size());
+        max_v = std::max(max_v, std::fabs(value));
+    }
+    for (const auto& [label, value] : bars_) {
+        const double frac = max_v > 0.0 ? std::fabs(value) / max_v : 0.0;
+        const auto n = static_cast<std::size_t>(
+            std::lround(frac * static_cast<double>(max_width)));
+        os << "  " << pad_right(label, label_w) << " |" << repeat('#', n)
+           << ' ' << fmt_fixed(value, 2) << unit_ << '\n';
+    }
+}
+
+SeriesChart::SeriesChart(std::string title, std::string x_header)
+    : title_(std::move(title)), x_header_(std::move(x_header))
+{
+}
+
+std::size_t
+SeriesChart::add_series(const std::string& name)
+{
+    series_names_.push_back(name);
+    return series_names_.size() - 1;
+}
+
+void
+SeriesChart::add_point(std::size_t series, double x, double y)
+{
+    points_.emplace_back(series, x, y);
+}
+
+void
+SeriesChart::print(std::ostream& os, int decimals) const
+{
+    os << title_ << '\n';
+    // x -> series -> y, keeping x order sorted.
+    std::map<double, std::map<std::size_t, double>> grid;
+    for (const auto& [s, x, y] : points_)
+        grid[x][s] = y;
+
+    std::vector<std::string> headers{x_header_};
+    headers.insert(headers.end(), series_names_.begin(),
+                   series_names_.end());
+    Table t(headers);
+    for (const auto& [x, row] : grid) {
+        std::vector<std::string> cells;
+        // Print integral x values without a decimal tail.
+        if (x == std::floor(x)) {
+            cells.push_back(fmt_fixed(x, 0));
+        } else {
+            cells.push_back(fmt_fixed(x, 2));
+        }
+        for (std::size_t s = 0; s < series_names_.size(); ++s) {
+            const auto it = row.find(s);
+            cells.push_back(it == row.end() ? "-"
+                                            : fmt_fixed(it->second, decimals));
+        }
+        t.add_row(std::move(cells));
+    }
+    t.print(os);
+}
+
+} // namespace imc

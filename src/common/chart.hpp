@@ -1,0 +1,74 @@
+#ifndef IMC_COMMON_CHART_HPP
+#define IMC_COMMON_CHART_HPP
+
+/**
+ * @file
+ * Terminal bar/series charts so the figure-reproduction harnesses can
+ * show the *shape* of each paper figure directly in their stdout, in
+ * addition to the numeric rows.
+ */
+
+#include <ostream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace imc {
+
+/**
+ * A horizontal bar chart of labelled values.
+ */
+class BarChart {
+  public:
+    /**
+     * @param title chart caption printed above the bars
+     * @param unit  suffix appended to each numeric value (e.g. "%", "x")
+     */
+    explicit BarChart(std::string title, std::string unit = "");
+
+    /** Append one labelled bar. */
+    void add(const std::string& label, double value);
+
+    /** Render; bars scale to the maximum value. */
+    void print(std::ostream& os, std::size_t max_width = 50) const;
+
+  private:
+    std::string title_;
+    std::string unit_;
+    std::vector<std::pair<std::string, double>> bars_;
+};
+
+/**
+ * A multi-series line table: one row per x value, one column per
+ * series, which is how the paper's multi-curve figures (e.g. Fig. 3)
+ * are rendered in text form.
+ */
+class SeriesChart {
+  public:
+    /**
+     * @param title    chart caption
+     * @param x_header label for the x-value column
+     */
+    SeriesChart(std::string title, std::string x_header);
+
+    /** Register a named series (column). Returns the series index. */
+    std::size_t add_series(const std::string& name);
+
+    /** Append one point to a series. */
+    void add_point(std::size_t series, double x, double y);
+
+    /** Render as an aligned table, one row per distinct x. */
+    void print(std::ostream& os, int decimals = 3) const;
+
+  private:
+    std::string title_;
+    std::string x_header_;
+    std::vector<std::string> series_names_;
+    // (series, x, y) triples; grouped at print time.
+    std::vector<std::tuple<std::size_t, double, double>> points_;
+};
+
+} // namespace imc
+
+#endif // IMC_COMMON_CHART_HPP

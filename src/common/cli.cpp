@@ -1,0 +1,84 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+namespace imc {
+
+Cli::Cli(int argc, const char* const* argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            continue;
+        std::string value;
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            value = argv[++i];
+        }
+        options_.emplace_back(arg.substr(2), value);
+    }
+}
+
+bool
+Cli::has(const std::string& flag) const
+{
+    for (const auto& [k, v] : options_) {
+        if (k == flag)
+            return true;
+    }
+    return false;
+}
+
+std::string
+Cli::get(const std::string& flag, const std::string& def) const
+{
+    for (const auto& [k, v] : options_) {
+        if (k == flag)
+            return v;
+    }
+    return def;
+}
+
+int
+Cli::get_int(const std::string& flag, int def) const
+{
+    const std::string v = get(flag, "");
+    return v.empty() ? def : std::atoi(v.c_str());
+}
+
+double
+Cli::get_double(const std::string& flag, double def) const
+{
+    const std::string v = get(flag, "");
+    return v.empty() ? def : std::atof(v.c_str());
+}
+
+std::uint64_t
+Cli::get_u64(const std::string& flag, std::uint64_t def) const
+{
+    const std::string v = get(flag, "");
+    return v.empty() ? def
+                     : static_cast<std::uint64_t>(
+                           std::strtoull(v.c_str(), nullptr, 10));
+}
+
+std::vector<std::string>
+Cli::get_list(const std::string& flag) const
+{
+    std::vector<std::string> out;
+    std::string v = get(flag, "");
+    if (v.empty())
+        return out;
+    std::size_t pos = 0;
+    while (pos <= v.size()) {
+        const std::size_t comma = v.find(',', pos);
+        if (comma == std::string::npos) {
+            out.push_back(v.substr(pos));
+            break;
+        }
+        out.push_back(v.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace imc

@@ -1,0 +1,49 @@
+#ifndef IMC_COMMON_CLI_HPP
+#define IMC_COMMON_CLI_HPP
+
+/**
+ * @file
+ * Minimal command-line option parsing shared by the benchmark
+ * harnesses and examples. Supports "--flag value" and bare "--flag"
+ * switches; everything is optional with a default.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace imc {
+
+/** Parsed command line. */
+class Cli {
+  public:
+    /** Parse argv; unknown flags are kept and queryable. */
+    Cli(int argc, const char* const* argv);
+
+    /** True when the switch appears (with or without a value). */
+    bool has(const std::string& flag) const;
+
+    /** Value of "--flag value", or @p def when absent. */
+    std::string get(const std::string& flag,
+                    const std::string& def) const;
+
+    /** Integer-valued option. */
+    int get_int(const std::string& flag, int def) const;
+
+    /** Double-valued option. */
+    double get_double(const std::string& flag, double def) const;
+
+    /** 64-bit option (e.g. --seed). */
+    std::uint64_t get_u64(const std::string& flag,
+                          std::uint64_t def) const;
+
+    /** Split a comma-separated option into items; empty when absent. */
+    std::vector<std::string> get_list(const std::string& flag) const;
+
+  private:
+    std::vector<std::pair<std::string, std::string>> options_;
+};
+
+} // namespace imc
+
+#endif // IMC_COMMON_CLI_HPP

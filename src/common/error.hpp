@@ -1,0 +1,65 @@
+#ifndef IMC_COMMON_ERROR_HPP
+#define IMC_COMMON_ERROR_HPP
+
+/**
+ * @file
+ * Error handling primitives shared by every imc library.
+ *
+ * Following the gem5 fatal()/panic() split: configuration errors that a
+ * user can cause raise ConfigError; conditions that indicate a bug in
+ * the library itself raise LogicBug. Both derive from Error so callers
+ * can catch everything from this project with one handler.
+ */
+
+#include <stdexcept>
+#include <string>
+
+namespace imc {
+
+/** Base class of every exception thrown by the imc libraries. */
+class Error : public std::runtime_error {
+  public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** The user supplied an invalid configuration (fatal() analogue). */
+class ConfigError : public Error {
+  public:
+    explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/** An internal invariant was violated (panic() analogue). */
+class LogicBug : public Error {
+  public:
+    explicit LogicBug(const std::string& what) : Error(what) {}
+};
+
+/**
+ * Check a user-facing precondition; throw ConfigError on failure.
+ *
+ * @param cond condition that must hold
+ * @param msg  message describing the configuration mistake
+ */
+inline void
+require(bool cond, const std::string& msg)
+{
+    if (!cond)
+        throw ConfigError(msg);
+}
+
+/**
+ * Check an internal invariant; throw LogicBug on failure.
+ *
+ * @param cond condition that must hold
+ * @param msg  message describing the violated invariant
+ */
+inline void
+invariant(bool cond, const std::string& msg)
+{
+    if (!cond)
+        throw LogicBug(msg);
+}
+
+} // namespace imc
+
+#endif // IMC_COMMON_ERROR_HPP

@@ -1,0 +1,62 @@
+#include "common/interp.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace imc {
+
+LinearInterpolator::LinearInterpolator(std::vector<double> xs,
+                                       std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys))
+{
+    require(!xs_.empty(), "LinearInterpolator: need at least one sample");
+    require(xs_.size() == ys_.size(),
+            "LinearInterpolator: xs and ys must be the same length");
+    for (std::size_t i = 1; i < xs_.size(); ++i) {
+        require(xs_[i] > xs_[i - 1],
+                "LinearInterpolator: xs must be strictly increasing");
+    }
+}
+
+double
+LinearInterpolator::operator()(double x) const
+{
+    if (x <= xs_.front())
+        return ys_.front();
+    if (x >= xs_.back())
+        return ys_.back();
+    const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+    const auto hi = static_cast<std::size_t>(it - xs_.begin());
+    const std::size_t lo = hi - 1;
+    return lerp(xs_[lo], ys_[lo], xs_[hi], ys_[hi], x);
+}
+
+double
+lerp(double x0, double y0, double x1, double y1, double x)
+{
+    invariant(x1 != x0, "lerp: degenerate segment");
+    const double t = (x - x0) / (x1 - x0);
+    return y0 + t * (y1 - y0);
+}
+
+void
+interpolate_holes(std::vector<double>& row, double sentinel)
+{
+    require(!row.empty(), "interpolate_holes: empty row");
+    require(row.front() != sentinel && row.back() != sentinel,
+            "interpolate_holes: endpoints must be measured");
+    std::size_t last_known = 0;
+    for (std::size_t i = 1; i < row.size(); ++i) {
+        if (row[i] == sentinel)
+            continue;
+        for (std::size_t j = last_known + 1; j < i; ++j) {
+            row[j] = lerp(static_cast<double>(last_known), row[last_known],
+                          static_cast<double>(i), row[i],
+                          static_cast<double>(j));
+        }
+        last_known = i;
+    }
+}
+
+} // namespace imc

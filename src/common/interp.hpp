@@ -1,0 +1,69 @@
+#ifndef IMC_COMMON_INTERP_HPP
+#define IMC_COMMON_INTERP_HPP
+
+/**
+ * @file
+ * Interpolation helpers.
+ *
+ * The interference model stores sensitivity as samples on integer grids
+ * (bubble pressure x interfering-node count) but is queried at
+ * fractional coordinates (real-valued bubble scores, averaged node
+ * counts), so 1-D piecewise-linear and 2-D bilinear interpolation with
+ * clamped extrapolation are needed throughout.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace imc {
+
+/**
+ * Piecewise-linear interpolation over (x, y) samples.
+ *
+ * Queries outside the sampled range clamp to the nearest endpoint
+ * value (no extrapolation), which is the conservative choice for
+ * sensitivity curves.
+ */
+class LinearInterpolator {
+  public:
+    /**
+     * @param xs strictly increasing sample coordinates
+     * @param ys sample values, same length as xs (must be nonempty)
+     */
+    LinearInterpolator(std::vector<double> xs, std::vector<double> ys);
+
+    /** Interpolated (or clamped) value at x. */
+    double operator()(double x) const;
+
+    /** Number of samples. */
+    std::size_t size() const { return xs_.size(); }
+
+  private:
+    std::vector<double> xs_;
+    std::vector<double> ys_;
+};
+
+/**
+ * Linear interpolation between two scalar samples.
+ *
+ * @param x0,y0 first sample
+ * @param x1,y1 second sample (x1 != x0)
+ * @param x     query coordinate (not clamped)
+ */
+double lerp(double x0, double y0, double x1, double y1, double x);
+
+/**
+ * Fill null entries of a partially measured row in place by linear
+ * interpolation between its nearest measured neighbours.
+ *
+ * Entries equal to the sentinel are treated as unmeasured. The first
+ * and last entries must be measured.
+ *
+ * @param row      values with sentinel holes
+ * @param sentinel the "unmeasured" marker value
+ */
+void interpolate_holes(std::vector<double>& row, double sentinel);
+
+} // namespace imc
+
+#endif // IMC_COMMON_INTERP_HPP

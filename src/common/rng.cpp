@@ -1,0 +1,149 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace imc {
+
+std::uint64_t
+splitmix64(std::uint64_t& state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+hash_string(const std::string& s)
+{
+    // FNV-1a 64-bit, then one SplitMix64 finalization round for
+    // avalanche on short strings.
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001B3ULL;
+    }
+    std::uint64_t state = h;
+    return splitmix64(state);
+}
+
+std::uint64_t
+hash_combine(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t state = a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+    return splitmix64(state);
+}
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed)
+{
+    std::uint64_t state = seed;
+    for (auto& word : s_)
+        word = splitmix64(state);
+}
+
+std::uint64_t
+Rng::next_u64()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniform_index(std::uint64_t n)
+{
+    invariant(n > 0, "uniform_index: n must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+    std::uint64_t v;
+    do {
+        v = next_u64();
+    } while (v >= limit);
+    return v % n;
+}
+
+std::int64_t
+Rng::uniform_int(std::int64_t lo, std::int64_t hi)
+{
+    invariant(lo <= hi, "uniform_int: lo must be <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+double
+Rng::normal()
+{
+    // Box-Muller; draw u1 away from zero to keep log() finite.
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognormal_factor(double sigma)
+{
+    if (sigma <= 0.0)
+        return 1.0;
+    return std::exp(sigma * normal());
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::fork(const std::string& name) const
+{
+    return Rng(hash_combine(seed_, hash_string(name)));
+}
+
+Rng
+Rng::fork(std::uint64_t index) const
+{
+    return Rng(hash_combine(seed_, index + 0x51ED270B1ULL));
+}
+
+} // namespace imc

@@ -1,0 +1,99 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace imc {
+
+void
+OnlineStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+OnlineStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+mean(const std::vector<double>& xs)
+{
+    OnlineStats s;
+    for (double x : xs)
+        s.add(x);
+    return s.mean();
+}
+
+double
+stddev(const std::vector<double>& xs)
+{
+    OnlineStats s;
+    for (double x : xs)
+        s.add(x);
+    return s.stddev();
+}
+
+double
+median(std::vector<double> xs)
+{
+    return percentile(std::move(xs), 50.0);
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    require(p >= 0.0 && p <= 100.0, "percentile: p must be in [0, 100]");
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs.front();
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double
+abs_pct_error(double predicted, double actual)
+{
+    invariant(actual != 0.0, "abs_pct_error: actual must be nonzero");
+    return 100.0 * std::fabs(predicted - actual) / std::fabs(actual);
+}
+
+double
+mean_abs_pct_error(const std::vector<double>& predicted,
+                   const std::vector<double>& actual)
+{
+    require(predicted.size() == actual.size() && !predicted.empty(),
+            "mean_abs_pct_error: vectors must be equal-sized and nonempty");
+    OnlineStats s;
+    for (std::size_t i = 0; i < predicted.size(); ++i)
+        s.add(abs_pct_error(predicted[i], actual[i]));
+    return s.mean();
+}
+
+} // namespace imc

@@ -1,0 +1,86 @@
+#ifndef IMC_COMMON_STATS_HPP
+#define IMC_COMMON_STATS_HPP
+
+/**
+ * @file
+ * Streaming and batch statistics used by profiling, validation, and the
+ * benchmark harnesses: Welford online moments, percentiles, and the
+ * error metrics the paper reports (average percentage error, standard
+ * deviation of errors, min/max error bars).
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace imc {
+
+/**
+ * Numerically stable online mean/variance accumulator (Welford).
+ */
+class OnlineStats {
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Number of samples seen so far. */
+    std::size_t count() const { return n_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Unbiased sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen; 0 when empty. */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest sample seen; 0 when empty. */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Arithmetic mean of a vector; 0 when empty. */
+double mean(const std::vector<double>& xs);
+
+/** Unbiased sample standard deviation of a vector; 0 with < 2 samples. */
+double stddev(const std::vector<double>& xs);
+
+/** Median (linear-interpolated); 0 when empty. */
+double median(std::vector<double> xs);
+
+/**
+ * Linear-interpolated percentile.
+ *
+ * @param xs samples (copied and sorted internally)
+ * @param p  percentile in [0, 100]
+ */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Absolute percentage error between a prediction and a reference value,
+ * in percent: 100 * |pred - actual| / actual.
+ *
+ * @pre actual != 0
+ */
+double abs_pct_error(double predicted, double actual);
+
+/** Mean of abs_pct_error over paired vectors. @pre equal nonzero sizes */
+double mean_abs_pct_error(const std::vector<double>& predicted,
+                          const std::vector<double>& actual);
+
+} // namespace imc
+
+#endif // IMC_COMMON_STATS_HPP

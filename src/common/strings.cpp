@@ -1,0 +1,55 @@
+#include "common/strings.hpp"
+
+#include <cstdio>
+
+namespace imc {
+
+std::string
+fmt_fixed(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmt_pct(double ratio, int decimals)
+{
+    return fmt_fixed(100.0 * ratio, decimals) + "%";
+}
+
+std::string
+join(const std::vector<std::string>& parts, const std::string& sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+pad_left(const std::string& s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+pad_right(const std::string& s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::string
+repeat(char c, std::size_t n)
+{
+    return std::string(n, c);
+}
+
+} // namespace imc

@@ -1,0 +1,36 @@
+#ifndef IMC_COMMON_STRINGS_HPP
+#define IMC_COMMON_STRINGS_HPP
+
+/**
+ * @file
+ * Small string formatting helpers used by the table/chart printers and
+ * the benchmark harnesses.
+ */
+
+#include <string>
+#include <vector>
+
+namespace imc {
+
+/** Format a double with the given number of decimal places. */
+std::string fmt_fixed(double v, int decimals = 2);
+
+/** Format a ratio as a percentage string, e.g. 0.0345 -> "3.45%". */
+std::string fmt_pct(double ratio, int decimals = 2);
+
+/** Join strings with a separator. */
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/** Left-pad to width with spaces (no-op if already wider). */
+std::string pad_left(const std::string& s, std::size_t width);
+
+/** Right-pad to width with spaces (no-op if already wider). */
+std::string pad_right(const std::string& s, std::size_t width);
+
+/** Repeat a character n times. */
+std::string repeat(char c, std::size_t n);
+
+} // namespace imc
+
+#endif // IMC_COMMON_STRINGS_HPP

@@ -1,0 +1,149 @@
+#include "core/heterogeneity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace imc::core {
+
+const std::vector<HeteroPolicy>&
+all_policies()
+{
+    static const std::vector<HeteroPolicy> policies{
+        HeteroPolicy::NMax,
+        HeteroPolicy::NPlus1Max,
+        HeteroPolicy::AllMax,
+        HeteroPolicy::Interpolate,
+    };
+    return policies;
+}
+
+std::string
+to_string(HeteroPolicy policy)
+{
+    switch (policy) {
+      case HeteroPolicy::NMax:
+        return "N MAX";
+      case HeteroPolicy::NPlus1Max:
+        return "N+1 MAX";
+      case HeteroPolicy::AllMax:
+        return "ALL MAX";
+      case HeteroPolicy::Interpolate:
+        return "INTERPOLATE";
+    }
+    throw LogicBug("to_string: unknown HeteroPolicy");
+}
+
+Homogeneous
+convert(HeteroPolicy policy, const std::vector<double>& pressures,
+        double top_tol)
+{
+    require(!pressures.empty(), "convert: empty pressure list");
+    const auto nodes = static_cast<double>(pressures.size());
+
+    double pmax = 0.0;
+    double sum = 0.0;
+    for (double p : pressures) {
+        require(p >= 0.0, "convert: negative pressure");
+        pmax = std::max(pmax, p);
+        sum += p;
+    }
+    if (pmax <= 0.0)
+        return Homogeneous{0.0, 0.0}; // no interference at all
+
+    int top_count = 0;
+    int interfering = 0;
+    for (double p : pressures) {
+        if (p > 0.0)
+            ++interfering;
+        if (p >= pmax - top_tol)
+            ++top_count;
+    }
+
+    switch (policy) {
+      case HeteroPolicy::NMax:
+        return Homogeneous{pmax, static_cast<double>(top_count)};
+      case HeteroPolicy::NPlus1Max: {
+        // Lower-pressure interfering nodes merge into one extra node
+        // at the top pressure (Section 3.3's example: [3,2,1,1] ->
+        // [3,3,0,0]).
+        const int extra = interfering > top_count ? 1 : 0;
+        return Homogeneous{pmax,
+                           static_cast<double>(top_count + extra)};
+      }
+      case HeteroPolicy::AllMax:
+        return Homogeneous{pmax, nodes};
+      case HeteroPolicy::Interpolate:
+        return Homogeneous{sum / nodes, nodes};
+    }
+    throw LogicBug("convert: unknown HeteroPolicy");
+}
+
+std::vector<double>
+sample_heterogeneous(int nodes, const std::vector<double>& grid,
+                     Rng& rng)
+{
+    require(nodes >= 1, "sample_heterogeneous: nodes must be >= 1");
+    require(!grid.empty(), "sample_heterogeneous: empty grid");
+    std::vector<double> pressures(static_cast<std::size_t>(nodes));
+    bool any = false;
+    do {
+        any = false;
+        for (auto& p : pressures) {
+            const auto pick = rng.uniform_index(grid.size() + 1);
+            p = pick == 0 ? 0.0 : grid[pick - 1];
+            any = any || p > 0.0;
+        }
+    } while (!any);
+    return pressures;
+}
+
+std::vector<PolicyFit>
+evaluate_policies(const SensitivityMatrix& matrix,
+                  const HeteroMeasureFn& measure, int nodes, int samples,
+                  Rng rng)
+{
+    require(samples >= 1, "evaluate_policies: samples must be >= 1");
+
+    std::vector<OnlineStats> stats(all_policies().size());
+    for (int s = 0; s < samples; ++s) {
+        const auto pressures =
+            sample_heterogeneous(nodes, matrix.pressures(), rng);
+        const double actual = measure(pressures);
+        invariant(actual > 0.0,
+                  "evaluate_policies: nonpositive measurement");
+        for (std::size_t pi = 0; pi < all_policies().size(); ++pi) {
+            const auto homog = convert(all_policies()[pi], pressures);
+            const double predicted =
+                matrix.lookup(homog.pressure, homog.nodes);
+            stats[pi].add(abs_pct_error(predicted, actual));
+        }
+    }
+
+    std::vector<PolicyFit> fits;
+    for (std::size_t pi = 0; pi < all_policies().size(); ++pi) {
+        PolicyFit fit;
+        fit.policy = all_policies()[pi];
+        fit.avg_error_pct = stats[pi].mean();
+        fit.stddev_pct = stats[pi].stddev();
+        fit.min_error_pct = stats[pi].min();
+        fit.max_error_pct = stats[pi].max();
+        fits.push_back(fit);
+    }
+    return fits;
+}
+
+PolicyFit
+best_policy(const std::vector<PolicyFit>& fits)
+{
+    require(!fits.empty(), "best_policy: empty fit list");
+    return *std::min_element(fits.begin(), fits.end(),
+                             [](const PolicyFit& a, const PolicyFit& b) {
+                                 return a.avg_error_pct <
+                                        b.avg_error_pct;
+                             });
+}
+
+} // namespace imc::core

@@ -1,0 +1,109 @@
+#ifndef IMC_CORE_HETEROGENEITY_HPP
+#define IMC_CORE_HETEROGENEITY_HPP
+
+/**
+ * @file
+ * Interference heterogeneity handling (Section 3.3).
+ *
+ * Real placements impose a *different* interference intensity on every
+ * node an application occupies. Profiling all heterogeneous
+ * combinations is intractable (12,870 settings for 8 hosts and 8
+ * levels), so the paper converts each heterogeneous pressure list into
+ * a homogeneous equivalent — some number of nodes all at one pressure
+ * — and looks that up in the sensitivity matrix. Four mapping policies
+ * are defined; the best one is selected per application from a small
+ * random sample of measured heterogeneous settings.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/sensitivity_matrix.hpp"
+
+namespace imc::core {
+
+/** The four heterogeneous-to-homogeneous mapping policies. */
+enum class HeteroPolicy {
+    /** Only the nodes at the worst pressure count. */
+    NMax,
+    /** Worst-pressure nodes plus one extra node that absorbs all
+     *  lower-pressure interference. */
+    NPlus1Max,
+    /** The worst pressure anywhere propagates to every node. */
+    AllMax,
+    /** The average pressure over all occupied nodes, applied to every
+     *  node. */
+    Interpolate,
+};
+
+/** All policies, in paper order. */
+const std::vector<HeteroPolicy>& all_policies();
+
+/** Paper-style policy name ("N+1 MAX" etc.). */
+std::string to_string(HeteroPolicy policy);
+
+/** A homogeneous interference setting: @c nodes nodes at @c pressure. */
+struct Homogeneous {
+    double pressure = 0.0;
+    double nodes = 0.0;
+};
+
+/**
+ * Convert a heterogeneous per-node pressure list to its homogeneous
+ * equivalent under a policy.
+ *
+ * @param policy    mapping policy
+ * @param pressures one entry per node the application occupies
+ *                  (0 = that node is interference-free)
+ * @param top_tol   pressures within this tolerance of the maximum
+ *                  count as "worst" (bubble scores are real-valued)
+ */
+Homogeneous convert(HeteroPolicy policy,
+                    const std::vector<double>& pressures,
+                    double top_tol = 0.25);
+
+/** Fit statistics of one policy over a measured sample. */
+struct PolicyFit {
+    HeteroPolicy policy = HeteroPolicy::NMax;
+    double avg_error_pct = 0.0;
+    double stddev_pct = 0.0;
+    double min_error_pct = 0.0;
+    double max_error_pct = 0.0;
+};
+
+/** Measures the normalized time of one heterogeneous setting. */
+using HeteroMeasureFn =
+    std::function<double(const std::vector<double>& pressures)>;
+
+/**
+ * Draw one random heterogeneous setting: each node gets 0 (clean) or
+ * one of the profiled grid pressures, with at least one nonzero.
+ */
+std::vector<double>
+sample_heterogeneous(int nodes, const std::vector<double>& grid,
+                     Rng& rng);
+
+/**
+ * Evaluate all four policies on a random sample of heterogeneous
+ * settings (Section 3.3's 60-sample methodology).
+ *
+ * @param matrix  the application's homogeneous sensitivity matrix
+ * @param measure ground-truth measurement of a heterogeneous setting
+ * @param nodes   nodes the application occupies
+ * @param samples number of random settings to draw
+ * @param rng     sampling stream
+ * @return per-policy fits, in all_policies() order
+ */
+std::vector<PolicyFit>
+evaluate_policies(const SensitivityMatrix& matrix,
+                  const HeteroMeasureFn& measure, int nodes, int samples,
+                  Rng rng);
+
+/** The policy with the smallest average error. */
+PolicyFit best_policy(const std::vector<PolicyFit>& fits);
+
+} // namespace imc::core
+
+#endif // IMC_CORE_HETEROGENEITY_HPP

@@ -1,0 +1,124 @@
+#include "core/measure.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace imc::core {
+
+CountingMeasure::CountingMeasure(MeasureFn inner)
+    : inner_(std::move(inner))
+{
+    require(static_cast<bool>(inner_), "CountingMeasure: null inner");
+}
+
+double
+CountingMeasure::operator()(int pressure, int nodes)
+{
+    if (nodes == 0)
+        return 1.0; // by definition; free of charge
+    const auto key = std::make_pair(pressure, nodes);
+    const auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+    const double value = inner_(pressure, nodes);
+    cache_.emplace(key, value);
+    ++measured_;
+    return value;
+}
+
+namespace {
+
+/** Shared lazily-measured solo baseline. */
+struct SoloCache {
+    double value = -1.0;
+};
+
+double
+solo_time(const workload::AppSpec& app,
+          const std::vector<sim::NodeId>& nodes,
+          const workload::RunConfig& cfg,
+          const std::shared_ptr<SoloCache>& cache)
+{
+    if (cache->value < 0.0) {
+        workload::RunConfig solo_cfg = cfg;
+        solo_cfg.salt = hash_combine(cfg.salt, hash_string("solo"));
+        cache->value = workload::run_solo_time(app, nodes, solo_cfg);
+        invariant(cache->value > 0.0,
+                  "make_cluster_measure: nonpositive solo time");
+    }
+    return cache->value;
+}
+
+} // namespace
+
+MeasureFn
+make_cluster_measure(const workload::AppSpec& app,
+                     const std::vector<sim::NodeId>& nodes,
+                     const workload::RunConfig& cfg,
+                     const std::vector<double>& grid)
+{
+    require(!grid.empty(), "make_cluster_measure: empty grid");
+    auto cache = std::make_shared<SoloCache>();
+    return [app, nodes, cfg, grid, cache](int pressure,
+                                          int node_count) {
+        require(pressure >= 1 &&
+                    pressure <= static_cast<int>(grid.size()),
+                "measure: pressure level out of grid");
+        require(node_count >= 0 &&
+                    node_count <= static_cast<int>(nodes.size()),
+                "measure: node count out of range");
+        if (node_count == 0)
+            return 1.0;
+        const double bubble =
+            grid[static_cast<std::size_t>(pressure - 1)];
+        std::vector<double> pressures(
+            static_cast<std::size_t>(
+                *std::max_element(nodes.begin(), nodes.end()) + 1),
+            0.0);
+        for (int k = 0; k < node_count; ++k)
+            pressures[static_cast<std::size_t>(nodes[
+                static_cast<std::size_t>(k)])] = bubble;
+
+        workload::RunConfig run_cfg = cfg;
+        run_cfg.salt = hash_combine(
+            cfg.salt,
+            hash_combine(static_cast<std::uint64_t>(bubble * 64.0),
+                         static_cast<std::uint64_t>(node_count)));
+        const double loaded = workload::run_app_time(
+            app, nodes, workload::bubble_tenants(pressures), run_cfg);
+        return loaded / solo_time(app, nodes, cfg, cache);
+    };
+}
+
+HeteroMeasureFn
+make_cluster_hetero_measure(const workload::AppSpec& app,
+                            const std::vector<sim::NodeId>& nodes,
+                            const workload::RunConfig& cfg)
+{
+    auto cache = std::make_shared<SoloCache>();
+    return [app, nodes, cfg,
+            cache](const std::vector<double>& pressures) {
+        require(pressures.size() == nodes.size(),
+                "hetero measure: pressure list size mismatch");
+        std::vector<double> by_node(
+            static_cast<std::size_t>(
+                *std::max_element(nodes.begin(), nodes.end()) + 1),
+            0.0);
+        std::uint64_t salt = hash_string("hetero");
+        for (std::size_t k = 0; k < nodes.size(); ++k) {
+            by_node[static_cast<std::size_t>(nodes[k])] = pressures[k];
+            salt = hash_combine(
+                salt, static_cast<std::uint64_t>(pressures[k] * 64.0));
+        }
+        workload::RunConfig run_cfg = cfg;
+        run_cfg.salt = hash_combine(cfg.salt, salt);
+        const double loaded = workload::run_app_time(
+            app, nodes, workload::bubble_tenants(by_node), run_cfg);
+        return loaded / solo_time(app, nodes, cfg, cache);
+    };
+}
+
+} // namespace imc::core

@@ -1,0 +1,82 @@
+#ifndef IMC_CORE_MEASURE_HPP
+#define IMC_CORE_MEASURE_HPP
+
+/**
+ * @file
+ * The measurement boundary between the model and the world.
+ *
+ * The interference model may observe an application ONLY through these
+ * callbacks — the analogue of the paper's profiling runs on the real
+ * cluster. MeasureFn measures one homogeneous setting (pressure level,
+ * number of interfering nodes); HeteroMeasureFn measures one
+ * heterogeneous per-node pressure vector. CountingMeasure wraps a
+ * MeasureFn to count and cache invocations, which is how profiling
+ * *cost* (Table 3) is accounted.
+ */
+
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "core/heterogeneity.hpp"
+#include "workload/runner.hpp"
+
+namespace imc::core {
+
+/**
+ * Normalized execution time of one homogeneous interference setting:
+ * @c nodes nodes each under a bubble at pressure level @c pressure
+ * (a 1-based index into the profiling grid). measure(p, 0) is 1 by
+ * definition for any p.
+ */
+using MeasureFn = std::function<double(int pressure, int nodes)>;
+
+/**
+ * Counting/caching wrapper around a MeasureFn.
+ *
+ * Each distinct (pressure, nodes) setting is measured at most once;
+ * the count of distinct measured settings is the profiling cost.
+ * Settings with nodes == 0 are free (they are 1 by definition), which
+ * matches the paper's cost accounting.
+ */
+class CountingMeasure {
+  public:
+    explicit CountingMeasure(MeasureFn inner);
+
+    /** Measure (or return the cached value of) one setting. */
+    double operator()(int pressure, int nodes);
+
+    /** Distinct settings measured so far (nodes >= 1 only). */
+    int measured() const { return measured_; }
+
+  private:
+    MeasureFn inner_;
+    std::map<std::pair<int, int>, double> cache_;
+    int measured_ = 0;
+};
+
+/**
+ * Build the cluster-backed homogeneous measurement function for an
+ * application: deploys the app on @p nodes, places bubbles on the
+ * first j of them, runs, and normalizes against the solo run.
+ *
+ * @param app   application to measure
+ * @param nodes its deployment
+ * @param cfg   run configuration
+ * @param grid  bubble pressure of each level (level i -> grid[i-1])
+ */
+MeasureFn
+make_cluster_measure(const workload::AppSpec& app,
+                     const std::vector<sim::NodeId>& nodes,
+                     const workload::RunConfig& cfg,
+                     const std::vector<double>& grid);
+
+/** Heterogeneous counterpart (per-node pressures over @p nodes). */
+HeteroMeasureFn
+make_cluster_hetero_measure(const workload::AppSpec& app,
+                            const std::vector<sim::NodeId>& nodes,
+                            const workload::RunConfig& cfg);
+
+} // namespace imc::core
+
+#endif // IMC_CORE_MEASURE_HPP

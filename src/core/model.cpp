@@ -1,0 +1,49 @@
+#include "core/model.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace imc::core {
+
+InterferenceModel::InterferenceModel(std::string app,
+                                     SensitivityMatrix matrix,
+                                     HeteroPolicy policy,
+                                     double bubble_score)
+    : app_(std::move(app)), matrix_(std::move(matrix)), policy_(policy),
+      bubble_score_(bubble_score)
+{
+    require(bubble_score_ >= 0.0,
+            "InterferenceModel: negative bubble score");
+}
+
+double
+InterferenceModel::predict(const std::vector<double>& pressures) const
+{
+    const Homogeneous homog = convert(policy_, pressures);
+    return predict_homogeneous(homog.pressure, homog.nodes);
+}
+
+double
+InterferenceModel::predict_homogeneous(double pressure,
+                                       double nodes) const
+{
+    return matrix_.lookup(pressure, nodes);
+}
+
+double
+predict_naive(const SensitivityMatrix& matrix,
+              const std::vector<double>& pressures)
+{
+    const Homogeneous homog =
+        convert(HeteroPolicy::NPlus1Max, pressures);
+    if (homog.nodes <= 0.0)
+        return 1.0;
+    const auto m = static_cast<double>(matrix.hosts());
+    // Slowdown with every node interfered at this pressure, scaled by
+    // the fraction of nodes actually interfered.
+    const double full = matrix.lookup(homog.pressure, m);
+    return 1.0 + (homog.nodes / m) * (full - 1.0);
+}
+
+} // namespace imc::core

@@ -1,0 +1,82 @@
+#ifndef IMC_CORE_MODEL_HPP
+#define IMC_CORE_MODEL_HPP
+
+/**
+ * @file
+ * The complete per-application interference model (Section 3.4).
+ *
+ * Three profiled ingredients combine into a predictor:
+ *  1. the sensitivity matrix T (interference propagation),
+ *  2. the best heterogeneity mapping policy,
+ *  3. the bubble score (interference the application generates —
+ *     consumed by *other* applications' predictions).
+ *
+ * predict() takes the per-node pressure list an application would
+ * experience under a placement, converts it to a homogeneous
+ * equivalent with the app's policy, and reads the matrix.
+ *
+ * The naive baseline (Sections 2.2 and 5.2) replaces the propagation
+ * matrix with proportional aggregation: interference on j of m nodes
+ * contributes j/m of the full-cluster slowdown.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/heterogeneity.hpp"
+#include "core/sensitivity_matrix.hpp"
+
+namespace imc::core {
+
+/** A profiled, ready-to-query interference model for one application. */
+class InterferenceModel {
+  public:
+    /**
+     * @param app          application abbreviation (e.g. "M.lmps")
+     * @param matrix       profiled propagation matrix
+     * @param policy       best heterogeneity mapping policy
+     * @param bubble_score interference intensity the app generates
+     */
+    InterferenceModel(std::string app, SensitivityMatrix matrix,
+                      HeteroPolicy policy, double bubble_score);
+
+    /** Application abbreviation. */
+    const std::string& app() const { return app_; }
+
+    /**
+     * Predicted normalized execution time under the given per-node
+     * interference pressures (one entry per occupied node; 0 = clean).
+     */
+    double predict(const std::vector<double>& pressures) const;
+
+    /** Predicted normalized time for a homogeneous setting. */
+    double predict_homogeneous(double pressure, double nodes) const;
+
+    /** The interference intensity this application generates. */
+    double bubble_score() const { return bubble_score_; }
+
+    /** The selected heterogeneity mapping policy. */
+    HeteroPolicy policy() const { return policy_; }
+
+    /** The profiled propagation matrix. */
+    const SensitivityMatrix& matrix() const { return matrix_; }
+
+  private:
+    std::string app_;
+    SensitivityMatrix matrix_;
+    HeteroPolicy policy_;
+    double bubble_score_;
+};
+
+/**
+ * The paper's naive model: convert heterogeneity with N+1 max (the
+ * best single static policy), then aggregate proportionally —
+ * interference on j of m nodes contributes j/m of the all-nodes
+ * slowdown at that pressure.
+ */
+double predict_naive(const SensitivityMatrix& matrix,
+                     const std::vector<double>& pressures);
+
+} // namespace imc::core
+
+#endif // IMC_CORE_MODEL_HPP

@@ -1,0 +1,84 @@
+#include "core/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace imc::core {
+
+namespace {
+
+// Keep corrections within a sane envelope: one wild observation must
+// not be able to flip a prediction by more than 2x either way.
+constexpr double kMinCorrection = 0.5;
+constexpr double kMaxCorrection = 2.0;
+
+} // namespace
+
+OnlineRefiner::OnlineRefiner(InterferenceModel model, double alpha,
+                             int buckets)
+    : model_(std::move(model)), alpha_(alpha)
+{
+    require(alpha_ > 0.0 && alpha_ <= 1.0,
+            "OnlineRefiner: alpha must be in (0, 1]");
+    require(buckets >= 1, "OnlineRefiner: need at least one bucket");
+    corrections_.assign(static_cast<std::size_t>(buckets), 1.0);
+    band_counts_.assign(static_cast<std::size_t>(buckets), 0);
+}
+
+std::size_t
+OnlineRefiner::bucket_of(double pressure) const
+{
+    const double top = model_.matrix().pressures().back();
+    const double frac =
+        std::clamp(pressure / top, 0.0, 1.0 - 1e-12);
+    return static_cast<std::size_t>(
+        frac * static_cast<double>(corrections_.size()));
+}
+
+double
+OnlineRefiner::predict(const std::vector<double>& pressures) const
+{
+    const Homogeneous homog = convert(model_.policy(), pressures);
+    const double base =
+        model_.predict_homogeneous(homog.pressure, homog.nodes);
+    if (homog.nodes <= 0.0)
+        return base; // uninterfered: nothing to correct
+    return base * corrections_[bucket_of(homog.pressure)];
+}
+
+double
+OnlineRefiner::predict_static(
+    const std::vector<double>& pressures) const
+{
+    return model_.predict(pressures);
+}
+
+void
+OnlineRefiner::observe(const std::vector<double>& pressures,
+                       double actual)
+{
+    require(actual > 0.0, "OnlineRefiner: nonpositive observation");
+    const Homogeneous homog = convert(model_.policy(), pressures);
+    if (homog.nodes <= 0.0)
+        return; // solo observations carry no interference signal
+    const double base =
+        model_.predict_homogeneous(homog.pressure, homog.nodes);
+    invariant(base > 0.0, "OnlineRefiner: nonpositive base prediction");
+    const double ratio =
+        std::clamp(actual / base, kMinCorrection, kMaxCorrection);
+    auto& correction = corrections_[bucket_of(homog.pressure)];
+    correction = (1.0 - alpha_) * correction + alpha_ * ratio;
+    ++band_counts_[bucket_of(homog.pressure)];
+    ++observations_;
+}
+
+double
+OnlineRefiner::correction_at(double pressure) const
+{
+    return corrections_[bucket_of(pressure)];
+}
+
+} // namespace imc::core

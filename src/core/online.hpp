@@ -1,0 +1,75 @@
+#ifndef IMC_CORE_ONLINE_HPP
+#define IMC_CORE_ONLINE_HPP
+
+/**
+ * @file
+ * Online model refinement — the paper's stated future work
+ * (Sections 1 and 8: "extending it to an online mechanism", in the
+ * spirit of Bubble-Flux).
+ *
+ * A static profile cannot track behaviour the profiling runs never
+ * saw: phase changes, the Dom0 fluctuation of Section 4.3, or drift
+ * after a software update. OnlineRefiner wraps a profiled
+ * InterferenceModel and learns a multiplicative correction from
+ * production observations: each (pressure list, observed normalized
+ * time) pair updates an exponentially weighted ratio of observed to
+ * statically predicted time, bucketed by the converted homogeneous
+ * pressure so that corrections learned under heavy interference do
+ * not contaminate light-interference predictions.
+ */
+
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace imc::core {
+
+/** A profiled model plus production-feedback corrections. */
+class OnlineRefiner {
+  public:
+    /**
+     * @param model   the static profiled model (copied)
+     * @param alpha   EWMA weight of each new observation, in (0, 1]
+     * @param buckets number of pressure bands with independent
+     *                corrections, >= 1
+     */
+    explicit OnlineRefiner(InterferenceModel model, double alpha = 0.3,
+                           int buckets = 4);
+
+    /** Corrected prediction for a per-node pressure list. */
+    double predict(const std::vector<double>& pressures) const;
+
+    /** The static model's uncorrected prediction. */
+    double predict_static(const std::vector<double>& pressures) const;
+
+    /**
+     * Fold one production observation into the corrections.
+     *
+     * @param pressures the per-node pressures the app experienced
+     * @param actual    its observed normalized execution time (> 0)
+     */
+    void observe(const std::vector<double>& pressures, double actual);
+
+    /** Current correction factor of the band covering @p pressure. */
+    double correction_at(double pressure) const;
+
+    /** Total observations folded in so far. */
+    int observations() const { return observations_; }
+
+    /** The wrapped static model. */
+    const InterferenceModel& model() const { return model_; }
+
+  private:
+    /** Band index of a converted homogeneous pressure. */
+    std::size_t bucket_of(double pressure) const;
+
+    InterferenceModel model_;
+    double alpha_;
+    std::vector<double> corrections_; // one factor per band
+    std::vector<int> band_counts_;
+    int observations_ = 0;
+};
+
+} // namespace imc::core
+
+#endif // IMC_CORE_ONLINE_HPP

@@ -1,0 +1,279 @@
+#include "core/profilers.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/interp.hpp"
+#include "common/stats.hpp"
+
+namespace imc::core {
+
+const std::vector<double>&
+default_pressure_grid()
+{
+    static const std::vector<double> grid{0.5, 1.0, 2.0, 3.0, 4.0,
+                                          5.0, 6.0, 7.0, 8.0};
+    return grid;
+}
+
+namespace {
+
+constexpr double kHole = std::numeric_limits<double>::quiet_NaN();
+
+bool
+is_hole(double v)
+{
+    return std::isnan(v);
+}
+
+/** Raw profiling state: rows indexed by pressure-1, columns 0..m. */
+using Grid = std::vector<std::vector<double>>;
+
+Grid
+make_grid(const ProfileOptions& opts)
+{
+    require(opts.pressure_levels() >= 1 && opts.hosts >= 1,
+            "profilers: need at least one pressure level and host");
+    for (std::size_t i = 1; i < opts.grid.size(); ++i) {
+        require(opts.grid[i] > opts.grid[i - 1],
+                "profilers: grid must be strictly increasing");
+    }
+    Grid grid(static_cast<std::size_t>(opts.pressure_levels()));
+    for (auto& row : grid) {
+        row.assign(static_cast<std::size_t>(opts.hosts) + 1, kHole);
+        row[0] = 1.0; // no interference, by definition
+    }
+    return grid;
+}
+
+/**
+ * Recursive bisection of one row (the paper's profile_binary_row):
+ * refine (lo, hi) only while the endpoint values differ enough.
+ */
+void
+binary_row(Grid& grid, CountingMeasure& measure, int pressure, int lo,
+           int hi, double epsilon)
+{
+    if (hi - lo <= 1)
+        return;
+    auto& row = grid[static_cast<std::size_t>(pressure - 1)];
+    const double v_lo = row[static_cast<std::size_t>(lo)];
+    const double v_hi = row[static_cast<std::size_t>(hi)];
+    invariant(!is_hole(v_lo) && !is_hole(v_hi),
+              "binary_row: endpoints not measured");
+    if (std::fabs(v_hi - v_lo) < epsilon)
+        return; // flat enough: interpolation will fill the inside
+    const int mid = (lo + hi) / 2;
+    row[static_cast<std::size_t>(mid)] = measure(pressure, mid);
+    binary_row(grid, measure, pressure, lo, mid, epsilon);
+    binary_row(grid, measure, pressure, mid, hi, epsilon);
+}
+
+/** Column counterpart (the paper's profile_binary_col), at node
+ *  count j, bisecting over pressure levels. */
+void
+binary_col(Grid& grid, CountingMeasure& measure, int j, int p_lo,
+           int p_hi, double epsilon)
+{
+    if (p_hi - p_lo <= 1)
+        return;
+    const double v_lo =
+        grid[static_cast<std::size_t>(p_lo - 1)][static_cast<std::size_t>(j)];
+    const double v_hi =
+        grid[static_cast<std::size_t>(p_hi - 1)][static_cast<std::size_t>(j)];
+    invariant(!is_hole(v_lo) && !is_hole(v_hi),
+              "binary_col: endpoints not measured");
+    if (std::fabs(v_hi - v_lo) < epsilon)
+        return;
+    const int mid = (p_lo + p_hi) / 2;
+    grid[static_cast<std::size_t>(mid - 1)][static_cast<std::size_t>(j)] =
+        measure(mid, j);
+    binary_col(grid, measure, j, p_lo, mid, epsilon);
+    binary_col(grid, measure, j, mid, p_hi, epsilon);
+}
+
+/** Fill holes of one row by linear interpolation (interpolate_row). */
+void
+interpolate_row(Grid& grid, int pressure)
+{
+    auto& row = grid[static_cast<std::size_t>(pressure - 1)];
+    // interpolate_holes uses an exact sentinel; convert NaN holes.
+    std::vector<double> tmp = row;
+    constexpr double sentinel = -1.0;
+    for (auto& v : tmp) {
+        if (is_hole(v))
+            v = sentinel;
+    }
+    interpolate_holes(tmp, sentinel);
+    row = tmp;
+}
+
+/** Fill holes of one column by linear interpolation over pressure. */
+void
+interpolate_col(Grid& grid, int j)
+{
+    std::vector<double> col;
+    col.reserve(grid.size());
+    for (const auto& row : grid)
+        col.push_back(row[static_cast<std::size_t>(j)]);
+    constexpr double sentinel = -1.0;
+    for (auto& v : col) {
+        if (is_hole(v))
+            v = sentinel;
+    }
+    interpolate_holes(col, sentinel);
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        grid[i][static_cast<std::size_t>(j)] = col[i];
+}
+
+ProfileResult
+finish(Grid grid, CountingMeasure& measure, const ProfileOptions& opts)
+{
+    for (const auto& row : grid) {
+        for (double v : row)
+            invariant(!is_hole(v), "profilers: unfilled hole remains");
+    }
+    return ProfileResult{
+        SensitivityMatrix(std::move(grid), opts.grid),
+        measure.measured(), opts.pressure_levels() * opts.hosts};
+}
+
+} // namespace
+
+ProfileResult
+profile_exhaustive(CountingMeasure& measure, const ProfileOptions& opts)
+{
+    Grid grid = make_grid(opts);
+    for (int p = 1; p <= opts.pressure_levels(); ++p) {
+        for (int j = 1; j <= opts.hosts; ++j) {
+            grid[static_cast<std::size_t>(p - 1)]
+                [static_cast<std::size_t>(j)] = measure(p, j);
+        }
+    }
+    return finish(std::move(grid), measure, opts);
+}
+
+ProfileResult
+profile_binary_brute(CountingMeasure& measure, const ProfileOptions& opts)
+{
+    Grid grid = make_grid(opts);
+    const int m = opts.hosts;
+    for (int p = 1; p <= opts.pressure_levels(); ++p) {
+        grid[static_cast<std::size_t>(p - 1)][static_cast<std::size_t>(m)] =
+            measure(p, m);
+        binary_row(grid, measure, p, 0, m, opts.epsilon);
+        interpolate_row(grid, p);
+    }
+    return finish(std::move(grid), measure, opts);
+}
+
+ProfileResult
+profile_binary_optimized(CountingMeasure& measure,
+                         const ProfileOptions& opts)
+{
+    Grid grid = make_grid(opts);
+    const int n = opts.pressure_levels();
+    const int m = opts.hosts;
+
+    // Anchors: max-node count at min and max pressure.
+    grid[0][static_cast<std::size_t>(m)] = measure(1, m);
+    grid[static_cast<std::size_t>(n - 1)][static_cast<std::size_t>(m)] =
+        measure(n, m);
+
+    // Top-pressure row via binary search.
+    binary_row(grid, measure, n, 0, m, opts.epsilon);
+    interpolate_row(grid, n);
+
+    // Max-node column via binary search over pressures (only when
+    // there are intermediate pressure levels).
+    if (n >= 2) {
+        binary_col(grid, measure, m, 1, n, opts.epsilon);
+        interpolate_col(grid, m);
+    }
+
+    // Infer the interior: shapes are similar across pressures, so
+    // scale the top row by each pressure's reach at m nodes.
+    const double top_reach =
+        grid[static_cast<std::size_t>(n - 1)][static_cast<std::size_t>(m)] -
+        1.0;
+    for (int p = 1; p <= n; ++p) {
+        auto& row = grid[static_cast<std::size_t>(p - 1)];
+        const double reach = row[static_cast<std::size_t>(m)] - 1.0;
+        for (int j = 1; j < m; ++j) {
+            auto& cell = row[static_cast<std::size_t>(j)];
+            if (!is_hole(cell))
+                continue; // measured (top row) stays as measured
+            const double top_j =
+                grid[static_cast<std::size_t>(n - 1)]
+                    [static_cast<std::size_t>(j)];
+            if (top_reach > 1e-9) {
+                cell = 1.0 + reach * (top_j - 1.0) / top_reach;
+            } else {
+                // Degenerate: the top curve is flat; fall back to a
+                // flat row at the measured reach.
+                cell = 1.0 + reach;
+            }
+        }
+    }
+    return finish(std::move(grid), measure, opts);
+}
+
+ProfileResult
+profile_random(CountingMeasure& measure, const ProfileOptions& opts,
+               double fraction, Rng rng)
+{
+    require(fraction > 0.0 && fraction <= 1.0,
+            "profile_random: fraction must be in (0, 1]");
+    Grid grid = make_grid(opts);
+    const int n = opts.pressure_levels();
+    const int m = opts.hosts;
+
+    // Mandatory: the all-hosts column, so every row has a measured
+    // right endpoint for interpolation (the paper always measures
+    // "interference in all hosts for each bubble pressure").
+    int budget = static_cast<int>(std::lround(fraction * n * m));
+    for (int p = 1; p <= n; ++p) {
+        grid[static_cast<std::size_t>(p - 1)][static_cast<std::size_t>(m)] =
+            measure(p, m);
+        --budget;
+    }
+
+    // Random fill of the remaining budget.
+    std::vector<std::pair<int, int>> candidates;
+    for (int p = 1; p <= n; ++p) {
+        for (int j = 1; j < m; ++j)
+            candidates.emplace_back(p, j);
+    }
+    // Fisher-Yates prefix shuffle.
+    for (std::size_t i = 0;
+         i < candidates.size() && budget > 0; ++i, --budget) {
+        const std::size_t pick =
+            i + rng.uniform_index(candidates.size() - i);
+        std::swap(candidates[i], candidates[pick]);
+        const auto [p, j] = candidates[i];
+        grid[static_cast<std::size_t>(p - 1)][static_cast<std::size_t>(j)] =
+            measure(p, j);
+    }
+
+    for (int p = 1; p <= n; ++p)
+        interpolate_row(grid, p);
+    return finish(std::move(grid), measure, opts);
+}
+
+double
+matrix_error_pct(const SensitivityMatrix& predicted,
+                 const SensitivityMatrix& truth)
+{
+    require(predicted.pressure_levels() == truth.pressure_levels() &&
+                predicted.hosts() == truth.hosts(),
+            "matrix_error_pct: dimension mismatch");
+    OnlineStats err;
+    for (int p = 1; p <= truth.pressure_levels(); ++p) {
+        for (int j = 1; j <= truth.hosts(); ++j)
+            err.add(abs_pct_error(predicted.at(p, j), truth.at(p, j)));
+    }
+    return err.mean();
+}
+
+} // namespace imc::core

@@ -1,0 +1,106 @@
+#include "core/registry.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace imc::core {
+
+std::string
+to_string(ProfileAlgorithm algorithm)
+{
+    switch (algorithm) {
+      case ProfileAlgorithm::Exhaustive:
+        return "exhaustive";
+      case ProfileAlgorithm::BinaryBrute:
+        return "binary-brute";
+      case ProfileAlgorithm::BinaryOptimized:
+        return "binary-optimized";
+      case ProfileAlgorithm::Random30:
+        return "random-30%";
+      case ProfileAlgorithm::Random50:
+        return "random-50%";
+    }
+    throw LogicBug("to_string: unknown ProfileAlgorithm");
+}
+
+ProfileResult
+run_profiler(ProfileAlgorithm algorithm, CountingMeasure& measure,
+             const ProfileOptions& opts, std::uint64_t seed)
+{
+    switch (algorithm) {
+      case ProfileAlgorithm::Exhaustive:
+        return profile_exhaustive(measure, opts);
+      case ProfileAlgorithm::BinaryBrute:
+        return profile_binary_brute(measure, opts);
+      case ProfileAlgorithm::BinaryOptimized:
+        return profile_binary_optimized(measure, opts);
+      case ProfileAlgorithm::Random30:
+        return profile_random(measure, opts, 0.30, Rng(seed));
+      case ProfileAlgorithm::Random50:
+        return profile_random(measure, opts, 0.50, Rng(seed));
+    }
+    throw LogicBug("run_profiler: unknown ProfileAlgorithm");
+}
+
+ModelRegistry::ModelRegistry(workload::RunConfig cfg,
+                             ModelBuildOptions opts)
+    : cfg_(std::move(cfg)), opts_(opts), scorer_(cfg_)
+{
+}
+
+const BuiltModel&
+ModelRegistry::model(const workload::AppSpec& app, int deploy_nodes)
+{
+    require(deploy_nodes >= 1 &&
+                deploy_nodes <= cfg_.cluster.num_nodes,
+            "ModelRegistry: deployment size out of range");
+    const auto key = std::make_pair(app.abbrev, deploy_nodes);
+    auto it = cache_.find(key);
+    if (it == cache_.end())
+        it = cache_.emplace(key, build(app, deploy_nodes)).first;
+    return it->second;
+}
+
+const BuiltModel&
+ModelRegistry::model(const workload::AppSpec& app)
+{
+    return model(app, cfg_.cluster.num_nodes);
+}
+
+BuiltModel
+ModelRegistry::build(const workload::AppSpec& app, int deploy_nodes)
+{
+    std::vector<sim::NodeId> nodes(
+        static_cast<std::size_t>(deploy_nodes));
+    for (int i = 0; i < deploy_nodes; ++i)
+        nodes[static_cast<std::size_t>(i)] = i;
+
+    // 1. Propagation matrix through the selected profiling algorithm.
+    ProfileOptions popts;
+    popts.hosts = deploy_nodes;
+    popts.epsilon = opts_.epsilon;
+    CountingMeasure measure(
+        make_cluster_measure(app, nodes, cfg_, popts.grid));
+    const auto profile = run_profiler(
+        opts_.algorithm, measure, popts,
+        hash_combine(cfg_.seed, hash_string("profiler:" + app.abbrev)));
+
+    // 2. Heterogeneity policy from random measured samples.
+    const auto hetero = make_cluster_hetero_measure(app, nodes, cfg_);
+    const auto fits = evaluate_policies(
+        profile.matrix, hetero, deploy_nodes, opts_.policy_samples,
+        Rng(hash_combine(cfg_.seed,
+                         hash_string("policy:" + app.abbrev))));
+    const auto best = best_policy(fits);
+
+    // 3. Bubble score.
+    const double score = scorer_.score(app, nodes);
+
+    return BuiltModel{
+        InterferenceModel(app.abbrev, profile.matrix, best.policy,
+                          score),
+        fits, profile.cost()};
+}
+
+} // namespace imc::core

@@ -1,0 +1,107 @@
+#ifndef IMC_CORE_REGISTRY_HPP
+#define IMC_CORE_REGISTRY_HPP
+
+/**
+ * @file
+ * Model construction and caching.
+ *
+ * A ModelRegistry owns the full profiling pipeline for a cluster
+ * configuration: sensitivity-matrix profiling (with a selectable
+ * algorithm), heterogeneity policy selection from random samples, and
+ * bubble scoring. Models are cached by (application, deployment size),
+ * since on a homogeneous cluster only the number of occupied nodes
+ * matters.
+ */
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/model.hpp"
+#include "core/profilers.hpp"
+#include "core/scorer.hpp"
+#include "workload/runner.hpp"
+
+namespace imc::core {
+
+/** Which profiling algorithm builds the sensitivity matrix. */
+enum class ProfileAlgorithm {
+    Exhaustive,
+    BinaryBrute,
+    BinaryOptimized,
+    Random30,
+    Random50,
+};
+
+/** Paper-style algorithm name. */
+std::string to_string(ProfileAlgorithm algorithm);
+
+/** Knobs of the model-building pipeline. */
+struct ModelBuildOptions {
+    ProfileAlgorithm algorithm = ProfileAlgorithm::BinaryOptimized;
+    /** Binary-search refinement threshold. */
+    double epsilon = 0.05;
+    /** Random heterogeneous samples for policy selection
+     *  (Section 3.3 uses 60 on the private cluster, 100 on EC2). */
+    int policy_samples = 60;
+};
+
+/** Everything profiled for one (application, deployment). */
+struct BuiltModel {
+    InterferenceModel model;
+    /** Per-policy fits from the selection step. */
+    std::vector<PolicyFit> policy_fits;
+    /** Profiling cost of the matrix build, fraction of settings. */
+    double profile_cost = 0.0;
+};
+
+/** Builds and caches interference models for a cluster. */
+class ModelRegistry {
+  public:
+    /**
+     * @param cfg  cluster/seed/reps configuration for profiling runs
+     * @param opts pipeline knobs
+     */
+    ModelRegistry(workload::RunConfig cfg, ModelBuildOptions opts);
+
+    /**
+     * The model of @p app at a deployment spanning @p deploy_nodes
+     * nodes (profiled on nodes [0, deploy_nodes) by symmetry).
+     * Builds on first use, then caches.
+     */
+    const BuiltModel& model(const workload::AppSpec& app,
+                            int deploy_nodes);
+
+    /** Convenience: full-cluster deployment. */
+    const BuiltModel& model(const workload::AppSpec& app);
+
+    /** The shared bubble scorer (exposed for the Table 4 bench). */
+    const BubbleScorer& scorer() const { return scorer_; }
+
+    /** The profiling configuration. */
+    const workload::RunConfig& config() const { return cfg_; }
+
+    /** The pipeline options. */
+    const ModelBuildOptions& options() const { return opts_; }
+
+  private:
+    BuiltModel build(const workload::AppSpec& app, int deploy_nodes);
+
+    workload::RunConfig cfg_;
+    ModelBuildOptions opts_;
+    BubbleScorer scorer_;
+    std::map<std::pair<std::string, int>, BuiltModel> cache_;
+};
+
+/**
+ * Run one profiling algorithm against a counting measure (dispatch
+ * helper shared by the registry and the Table 3 bench).
+ */
+ProfileResult run_profiler(ProfileAlgorithm algorithm,
+                           CountingMeasure& measure,
+                           const ProfileOptions& opts,
+                           std::uint64_t seed);
+
+} // namespace imc::core
+
+#endif // IMC_CORE_REGISTRY_HPP

@@ -1,0 +1,105 @@
+#include "core/scorer.hpp"
+
+#include <algorithm>
+
+#include "bubble/bubble.hpp"
+#include "common/error.hpp"
+
+namespace imc::core {
+
+workload::AppSpec
+reporter_spec()
+{
+    workload::AppSpec s;
+    s.name = "bubble-reporter";
+    s.abbrev = "probe";
+    s.suite = "bubble";
+    s.kind = workload::AppKind::Batch;
+    s.demand = bubble::bubble_demand(bubble::kReporterPressure);
+    s.batch.total_work = bubble::kReporterWork;
+    s.batch.segments = 30;
+    s.noise_sigma = 0.01;
+    return s;
+}
+
+workload::AppSpec
+bubble_as_app(double pressure)
+{
+    workload::AppSpec s;
+    s.name = "bubble";
+    s.abbrev = "bubble";
+    s.suite = "bubble";
+    s.kind = workload::AppKind::Batch;
+    s.demand = bubble::bubble_demand(pressure);
+    s.batch.total_work = 1000.0; // effectively endless; co-run restarts
+    s.batch.segments = 1000;
+    s.noise_sigma = 0.01;
+    return s;
+}
+
+BubbleScorer::BubbleScorer(workload::RunConfig cfg) : cfg_(std::move(cfg))
+{
+    const auto probe = reporter_spec();
+    const std::vector<sim::NodeId> probe_node{0};
+
+    workload::RunConfig solo_cfg = cfg_;
+    solo_cfg.salt = hash_combine(cfg_.salt, hash_string("probe-solo"));
+    probe_solo_time_ =
+        workload::run_solo_time(probe, probe_node, solo_cfg);
+    invariant(probe_solo_time_ > 0.0,
+              "BubbleScorer: nonpositive probe solo time");
+
+    degradation_.push_back(1.0); // pressure 0
+    for (int p = 1; p <= bubble::kMaxPressure; ++p) {
+        workload::RunConfig run_cfg = cfg_;
+        run_cfg.salt = hash_combine(
+            cfg_.salt, hash_combine(hash_string("probe-calib"),
+                                    static_cast<std::uint64_t>(p)));
+        std::vector<workload::ExtraTenant> extra{
+            {0, bubble::bubble_demand(static_cast<double>(p))}};
+        const double t =
+            workload::run_app_time(probe, probe_node, extra, run_cfg);
+        degradation_.push_back(t / probe_solo_time_);
+    }
+
+    // Build a strictly increasing degradation -> pressure inverse.
+    inverse_x_.push_back(degradation_[0]);
+    inverse_y_.push_back(0.0);
+    for (int p = 1; p <= bubble::kMaxPressure; ++p) {
+        double d = degradation_[static_cast<std::size_t>(p)];
+        if (d <= inverse_x_.back())
+            d = inverse_x_.back() + 1e-6; // enforce monotonicity
+        inverse_x_.push_back(d);
+        inverse_y_.push_back(static_cast<double>(p));
+    }
+}
+
+double
+BubbleScorer::probe_degradation(const workload::AppSpec& app,
+                                const std::vector<sim::NodeId>& nodes,
+                                sim::NodeId node) const
+{
+    workload::RunConfig run_cfg = cfg_;
+    run_cfg.salt = hash_combine(
+        cfg_.salt,
+        hash_combine(hash_string("probe-score:" + app.abbrev),
+                     static_cast<std::uint64_t>(node)));
+    const double t = workload::run_corun_time(
+        reporter_spec(), {node}, {workload::Deployment{app, nodes}},
+        run_cfg);
+    return t / probe_solo_time_;
+}
+
+double
+BubbleScorer::score(const workload::AppSpec& app,
+                    const std::vector<sim::NodeId>& nodes) const
+{
+    require(!nodes.empty(), "BubbleScorer::score: empty deployment");
+    const LinearInterpolator inverse(inverse_x_, inverse_y_);
+    double sum = 0.0;
+    for (sim::NodeId node : nodes)
+        sum += inverse(probe_degradation(app, nodes, node));
+    return sum / static_cast<double>(nodes.size());
+}
+
+} // namespace imc::core

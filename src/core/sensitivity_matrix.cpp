@@ -1,0 +1,92 @@
+#include "core/sensitivity_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/interp.hpp"
+
+namespace imc::core {
+
+SensitivityMatrix::SensitivityMatrix(
+    std::vector<std::vector<double>> values,
+    std::vector<double> pressures)
+    : values_(std::move(values)), pressures_(std::move(pressures))
+{
+    require(!values_.empty(), "SensitivityMatrix: no rows");
+    n_ = static_cast<int>(values_.size());
+    if (pressures_.empty()) {
+        for (int i = 1; i <= n_; ++i)
+            pressures_.push_back(static_cast<double>(i));
+    }
+    require(static_cast<int>(pressures_.size()) == n_,
+            "SensitivityMatrix: pressure grid size mismatch");
+    for (std::size_t i = 0; i < pressures_.size(); ++i) {
+        require(pressures_[i] > 0.0,
+                "SensitivityMatrix: pressures must be positive");
+        if (i > 0) {
+            require(pressures_[i] > pressures_[i - 1],
+                    "SensitivityMatrix: pressures must increase");
+        }
+    }
+    m_ = static_cast<int>(values_.front().size()) - 1;
+    require(m_ >= 1, "SensitivityMatrix: need at least one host column");
+    for (const auto& row : values_) {
+        require(static_cast<int>(row.size()) == m_ + 1,
+                "SensitivityMatrix: ragged rows");
+        require(row[0] == 1.0,
+                "SensitivityMatrix: column 0 must be exactly 1.0");
+        for (double v : row)
+            require(v > 0.0 && std::isfinite(v),
+                    "SensitivityMatrix: entries must be positive finite");
+    }
+}
+
+double
+SensitivityMatrix::at(int pressure, int nodes) const
+{
+    require(pressure >= 1 && pressure <= n_,
+            "SensitivityMatrix::at: pressure out of range");
+    require(nodes >= 0 && nodes <= m_,
+            "SensitivityMatrix::at: node count out of range");
+    return values_[static_cast<std::size_t>(pressure - 1)]
+                  [static_cast<std::size_t>(nodes)];
+}
+
+double
+SensitivityMatrix::lookup(double pressure, double nodes) const
+{
+    if (pressure <= 0.0)
+        return 1.0; // no interference at all
+    // Positive pressures below the lowest profiled level snap up to
+    // it (see the header comment); above the top they clamp down.
+    const double p = std::clamp(pressure, pressures_.front(),
+                                pressures_.back());
+    const double j = std::clamp(nodes, 0.0, static_cast<double>(m_));
+
+    // Row value at fractional node count for one profiled row.
+    auto row_value = [&](std::size_t row_idx, double node_pos) {
+        const auto& row = values_[row_idx];
+        const auto lo = static_cast<std::size_t>(node_pos);
+        const std::size_t hi =
+            std::min(lo + 1, static_cast<std::size_t>(m_));
+        if (lo == hi)
+            return row[lo];
+        return lerp(static_cast<double>(lo), row[lo],
+                    static_cast<double>(hi), row[hi], node_pos);
+    };
+
+    const auto it = std::upper_bound(pressures_.begin(),
+                                     pressures_.end(), p);
+    const auto hi_idx = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - pressures_.begin(),
+                                 static_cast<std::ptrdiff_t>(n_) - 1));
+    const std::size_t lo_idx = hi_idx > 0 ? hi_idx - 1 : 0;
+    const double v_lo = row_value(lo_idx, j);
+    if (lo_idx == hi_idx || p <= pressures_[lo_idx])
+        return v_lo;
+    const double v_hi = row_value(hi_idx, j);
+    return lerp(pressures_[lo_idx], v_lo, pressures_[hi_idx], v_hi, p);
+}
+
+} // namespace imc::core

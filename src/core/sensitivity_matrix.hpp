@@ -1,0 +1,75 @@
+#ifndef IMC_CORE_SENSITIVITY_MATRIX_HPP
+#define IMC_CORE_SENSITIVITY_MATRIX_HPP
+
+/**
+ * @file
+ * The interference propagation matrix T (Section 4.1).
+ *
+ * T is an n x (m+1) matrix where n is the number of bubble pressure
+ * levels and m the number of hosts: T[i][j] is the execution time of
+ * the application, normalized to the no-interference run, when j nodes
+ * carry a bubble at pressure i+1. Column 0 is 1 by definition. The
+ * model queries the matrix at fractional coordinates — bubble scores
+ * are real-valued and heterogeneity conversion can produce fractional
+ * node counts — via bilinear interpolation.
+ */
+
+#include <vector>
+
+namespace imc::core {
+
+/** A complete (hole-free) normalized sensitivity matrix. */
+class SensitivityMatrix {
+  public:
+    /**
+     * @param values n rows of m+1 normalized times; values[i][0] must
+     *               be 1.0 and every entry must be positive
+     * @param pressures bubble pressure of each row (strictly
+     *               increasing, same length as values); defaults to
+     *               1..n when empty
+     */
+    explicit SensitivityMatrix(std::vector<std::vector<double>> values,
+                               std::vector<double> pressures = {});
+
+    /** Number of pressure levels n (rows). */
+    int pressure_levels() const { return n_; }
+
+    /** Bubble pressure of each row, strictly increasing. */
+    const std::vector<double>& pressures() const { return pressures_; }
+
+    /** Number of hosts m (columns minus the j=0 baseline). */
+    int hosts() const { return m_; }
+
+    /** Exact entry: pressure level i in [1, n], node count j in [0, m]. */
+    double at(int pressure, int nodes) const;
+
+    /**
+     * Bilinear lookup at fractional (pressure, nodes).
+     *
+     * Queries clamp to the profiled pressure range and [0, m] nodes.
+     * A pressure of exactly 0 returns 1 (no interference); any
+     * positive pressure below the lowest profiled level is clamped UP
+     * to that level rather than interpolated toward the ideal
+     * no-interference value: even a co-tenant whose memory pressure
+     * is negligible still occupies the node's CPUs (the Xen Dom0
+     * effect of Section 4.3), and the lowest-pressure profiling runs
+     * are the closest measured analogue of "any busy co-tenant".
+     */
+    double lookup(double pressure, double nodes) const;
+
+    /** Underlying storage (row i-1 = pressure level i). */
+    const std::vector<std::vector<double>>& values() const
+    {
+        return values_;
+    }
+
+  private:
+    std::vector<std::vector<double>> values_;
+    std::vector<double> pressures_;
+    int n_ = 0;
+    int m_ = 0;
+};
+
+} // namespace imc::core
+
+#endif // IMC_CORE_SENSITIVITY_MATRIX_HPP

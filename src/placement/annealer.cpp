@@ -1,0 +1,141 @@
+#include "placement/annealer.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace imc::placement {
+
+namespace {
+
+/** Objective + constraint state of one placement. */
+struct Score {
+    double total = 0.0;
+    double violation = 0.0; // 0 when the QoS constraint holds
+
+    bool better_than(const Score& other, double direction) const
+    {
+        if (violation != other.violation)
+            return violation < other.violation;
+        return direction * (total - other.total) < 0.0;
+    }
+};
+
+Score
+score_of(const Placement& placement, const Evaluator& evaluator,
+         const std::optional<QosConstraint>& qos)
+{
+    const auto times = evaluator.predict(placement);
+    Score s;
+    for (std::size_t i = 0; i < times.size(); ++i)
+        s.total += times[i] * placement.instances()[i].units;
+    if (qos) {
+        const double t =
+            times.at(static_cast<std::size_t>(qos->instance));
+        s.violation = std::max(0.0, t - qos->max_norm_time);
+    }
+    return s;
+}
+
+/** (instance, unit) address of one unit. */
+struct UnitRef {
+    int instance = 0;
+    int unit = 0;
+};
+
+std::vector<UnitRef>
+all_units(const Placement& placement)
+{
+    std::vector<UnitRef> units;
+    for (int i = 0; i < placement.num_instances(); ++i) {
+        const int n =
+            placement.instances()[static_cast<std::size_t>(i)].units;
+        for (int u = 0; u < n; ++u)
+            units.push_back(UnitRef{i, u});
+    }
+    return units;
+}
+
+} // namespace
+
+AnnealResult
+anneal(Placement initial, const Evaluator& evaluator, Goal goal,
+       std::optional<QosConstraint> qos, const AnnealOptions& opts)
+{
+    require(initial.valid(), "anneal: initial placement invalid");
+    require(opts.iterations >= 1, "anneal: iterations must be >= 1");
+    require(opts.t_start > 0.0 && opts.t_end > 0.0 &&
+                opts.t_end <= opts.t_start,
+            "anneal: bad temperature schedule");
+    if (qos) {
+        require(qos->instance >= 0 &&
+                    qos->instance < initial.num_instances(),
+                "anneal: QoS instance out of range");
+    }
+
+    const double direction =
+        goal == Goal::MinimizeTotalTime ? 1.0 : -1.0;
+    Rng rng(opts.seed);
+
+    Placement current = initial;
+    Score current_score = score_of(current, evaluator, qos);
+    Placement best = current;
+    Score best_score = current_score;
+
+    const auto units = all_units(current);
+    const double cool =
+        std::pow(opts.t_end / opts.t_start,
+                 1.0 / static_cast<double>(opts.iterations));
+    double temperature = opts.t_start;
+    int accepted = 0;
+
+    for (int iter = 0; iter < opts.iterations;
+         ++iter, temperature *= cool) {
+        // Propose a valid swap of two units of different workloads.
+        UnitRef a;
+        UnitRef b;
+        bool found = false;
+        for (int attempt = 0; attempt < 100 && !found; ++attempt) {
+            a = units[rng.uniform_index(units.size())];
+            b = units[rng.uniform_index(units.size())];
+            found = current.swap_is_valid(a.instance, a.unit,
+                                          b.instance, b.unit);
+        }
+        if (!found)
+            continue; // degenerate configuration; keep cooling
+
+        current.swap_units(a.instance, a.unit, b.instance, b.unit);
+        const Score cand = score_of(current, evaluator, qos);
+
+        // Scalarized objective: heavily penalized violation annealed
+        // together with the (signed) total, so the search can cross
+        // the non-monotone ridges the heterogeneity conversion
+        // creates without abandoning the QoS goal.
+        const double delta =
+            direction * (cand.total - current_score.total) +
+            opts.qos_penalty *
+                (cand.violation - current_score.violation);
+        const bool accept =
+            delta <= 0.0 ||
+            rng.uniform() < std::exp(-delta / temperature);
+
+        if (accept) {
+            current_score = cand;
+            ++accepted;
+            if (cand.better_than(best_score, direction)) {
+                best = current;
+                best_score = cand;
+            }
+        } else {
+            current.swap_units(a.instance, a.unit, b.instance,
+                               b.unit); // revert
+        }
+    }
+
+    AnnealResult result{std::move(best), best_score.total,
+                        best_score.violation <= 0.0, accepted};
+    return result;
+}
+
+} // namespace imc::placement

@@ -1,0 +1,117 @@
+#include "placement/enumerate.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace imc::placement {
+
+namespace {
+
+/** Unordered instance pairs (i < j). */
+std::vector<std::pair<int, int>>
+pair_types(int k)
+{
+    std::vector<std::pair<int, int>> pairs;
+    for (int i = 0; i < k; ++i) {
+        for (int j = i + 1; j < k; ++j)
+            pairs.emplace_back(i, j);
+    }
+    return pairs;
+}
+
+/** Materialize a signature (count per pair type) as a placement. */
+Placement
+placement_from_signature(const std::vector<Instance>& instances,
+                         const sim::ClusterSpec& cluster,
+                         const std::vector<std::pair<int, int>>& pairs,
+                         const std::vector<int>& counts)
+{
+    Placement p(instances, cluster.num_nodes, cluster.slots_per_node);
+    std::vector<int> next_unit(instances.size(), 0);
+    int node = 0;
+    for (std::size_t t = 0; t < pairs.size(); ++t) {
+        for (int c = 0; c < counts[t]; ++c, ++node) {
+            const auto [i, j] = pairs[t];
+            p.assign(i, next_unit[static_cast<std::size_t>(i)]++, node);
+            p.assign(j, next_unit[static_cast<std::size_t>(j)]++, node);
+        }
+    }
+    invariant(p.valid(), "placement_from_signature: invalid result");
+    return p;
+}
+
+} // namespace
+
+EnumerateResult
+enumerate_extremes(const std::vector<Instance>& instances,
+                   const sim::ClusterSpec& cluster,
+                   const Evaluator& evaluator)
+{
+    const int k = static_cast<int>(instances.size());
+    require(k >= 2 && k <= 8,
+            "enumerate_extremes: supports 2..8 instances");
+    require(cluster.slots_per_node == 2,
+            "enumerate_extremes: requires two slots per node");
+    int total_units = 0;
+    for (const auto& inst : instances)
+        total_units += inst.units;
+    require(total_units == 2 * cluster.num_nodes,
+            "enumerate_extremes: requires full occupancy");
+
+    const auto pairs = pair_types(k);
+    std::vector<int> counts(pairs.size(), 0);
+    std::vector<int> degree_left;
+    for (const auto& inst : instances)
+        degree_left.push_back(inst.units);
+
+    EnumerateResult result{
+        Placement(instances, cluster.num_nodes, cluster.slots_per_node),
+        0.0,
+        Placement(instances, cluster.num_nodes, cluster.slots_per_node),
+        0.0, 0};
+    bool any = false;
+
+    // DFS over pair-type counts with degree pruning.
+    auto dfs = [&](auto&& self, std::size_t t) -> void {
+        if (t == pairs.size()) {
+            for (int d : degree_left) {
+                if (d != 0)
+                    return;
+            }
+            ++result.signatures;
+            Placement p = placement_from_signature(instances, cluster,
+                                                   pairs, counts);
+            const double total = evaluator.total_time(p);
+            if (!any || total < result.best_total) {
+                result.best = p;
+                result.best_total = total;
+            }
+            if (!any || total > result.worst_total) {
+                result.worst = std::move(p);
+                result.worst_total = total;
+            }
+            any = true;
+            return;
+        }
+        const auto [i, j] = pairs[t];
+        const int max_count =
+            std::min(degree_left[static_cast<std::size_t>(i)],
+                     degree_left[static_cast<std::size_t>(j)]);
+        for (int c = 0; c <= max_count; ++c) {
+            counts[t] = c;
+            degree_left[static_cast<std::size_t>(i)] -= c;
+            degree_left[static_cast<std::size_t>(j)] -= c;
+            self(self, t + 1);
+            degree_left[static_cast<std::size_t>(i)] += c;
+            degree_left[static_cast<std::size_t>(j)] += c;
+        }
+        counts[t] = 0;
+    };
+    dfs(dfs, 0);
+
+    require(any, "enumerate_extremes: no feasible signature exists");
+    return result;
+}
+
+} // namespace imc::placement

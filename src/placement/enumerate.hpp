@@ -1,0 +1,48 @@
+#ifndef IMC_PLACEMENT_ENUMERATE_HPP
+#define IMC_PLACEMENT_ENUMERATE_HPP
+
+/**
+ * @file
+ * Exact placement enumeration for fully-occupied two-slot clusters.
+ *
+ * With two slots per node and every slot filled, a placement is a
+ * perfect pairing of units, and the model's prediction depends only on
+ * the *co-location signature*: how many nodes host each unordered pair
+ * of instances. The signature space is tiny (degree-constrained
+ * integer compositions), so the true best and worst placements under a
+ * predictor can be found exactly — the ground truth the simulated
+ * annealing search is tested against.
+ */
+
+#include <cstdint>
+
+#include "placement/evaluator.hpp"
+
+namespace imc::placement {
+
+/** Outcome of an exhaustive signature enumeration. */
+struct EnumerateResult {
+    Placement best;
+    double best_total = 0.0;
+    Placement worst;
+    double worst_total = 0.0;
+    /** Distinct co-location signatures examined. */
+    std::int64_t signatures = 0;
+};
+
+/**
+ * Enumerate every co-location signature and return the extremes by the
+ * evaluator's VM-weighted total normalized time.
+ *
+ * @pre two slots per node, full occupancy (sum of units ==
+ *      2 * num_nodes), and at most 8 instances (the signature space
+ *      explodes combinatorially beyond that)
+ */
+EnumerateResult
+enumerate_extremes(const std::vector<Instance>& instances,
+                   const sim::ClusterSpec& cluster,
+                   const Evaluator& evaluator);
+
+} // namespace imc::placement
+
+#endif // IMC_PLACEMENT_ENUMERATE_HPP

@@ -1,0 +1,92 @@
+#ifndef IMC_PLACEMENT_EVALUATOR_HPP
+#define IMC_PLACEMENT_EVALUATOR_HPP
+
+/**
+ * @file
+ * Placement evaluation.
+ *
+ * The search algorithms score candidate placements through an
+ * Evaluator returning each instance's predicted normalized execution
+ * time. Two predictors mirror the paper's comparison: ModelEvaluator
+ * uses the full interference model (propagation matrix + per-app
+ * heterogeneity policy); NaiveEvaluator uses the naive proportional
+ * model. measure_actual() runs a placement on the simulated cluster —
+ * the "real machine" ground truth the paper's figures report.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "placement/placement.hpp"
+
+namespace imc::placement {
+
+/** Scores a placement: per-instance predicted normalized times. */
+class Evaluator {
+  public:
+    virtual ~Evaluator() = default;
+
+    /** Predicted normalized time of every instance. */
+    virtual std::vector<double>
+    predict(const Placement& placement) const = 0;
+
+    /**
+     * Aggregate objective: VM-weighted sum of normalized times
+     * (units are equal-sized, so weights are proportional to units).
+     * Lower is better.
+     */
+    double total_time(const Placement& placement) const;
+};
+
+/** Full interference-model predictor. */
+class ModelEvaluator : public Evaluator {
+  public:
+    /**
+     * @param registry model source (profiles on first use)
+     * @param instances instances of the placements to be evaluated
+     *        (models are fetched at each instance's deployment size)
+     */
+    ModelEvaluator(core::ModelRegistry& registry,
+                   const std::vector<Instance>& instances);
+
+    std::vector<double>
+    predict(const Placement& placement) const override;
+
+    /** The per-instance bubble scores used for pressure lists. */
+    const std::vector<double>& scores() const { return scores_; }
+
+  private:
+    std::vector<const core::BuiltModel*> models_;
+    std::vector<double> scores_;
+};
+
+/** Naive proportional-model predictor (Sections 2.2 / 5.2). */
+class NaiveEvaluator : public Evaluator {
+  public:
+    NaiveEvaluator(core::ModelRegistry& registry,
+                   const std::vector<Instance>& instances);
+
+    std::vector<double>
+    predict(const Placement& placement) const override;
+
+  private:
+    std::vector<const core::BuiltModel*> models_;
+    std::vector<double> scores_;
+};
+
+/**
+ * Ground truth: run the placement on the simulated cluster.
+ *
+ * All instances start together; each restarts until every instance
+ * has completed at least once (keeping contention stationary), and the
+ * first-completion time of each is normalized by its solo run at the
+ * same deployment size. Averaged over cfg.reps.
+ */
+std::vector<double>
+measure_actual(const Placement& placement,
+               const workload::RunConfig& cfg);
+
+} // namespace imc::placement
+
+#endif // IMC_PLACEMENT_EVALUATOR_HPP

@@ -1,0 +1,145 @@
+#include "placement/greedy.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace imc::placement {
+
+namespace {
+
+struct Score {
+    double total = 0.0;
+    double violation = 0.0;
+};
+
+Score
+score_of(const Placement& placement, const Evaluator& evaluator,
+         const std::optional<QosConstraint>& qos)
+{
+    const auto times = evaluator.predict(placement);
+    Score s;
+    for (std::size_t i = 0; i < times.size(); ++i)
+        s.total += times[i] * placement.instances()[i].units;
+    if (qos) {
+        const double t =
+            times.at(static_cast<std::size_t>(qos->instance));
+        s.violation = std::max(0.0, t - qos->max_norm_time);
+    }
+    return s;
+}
+
+struct UnitRef {
+    int instance = 0;
+    int unit = 0;
+};
+
+std::vector<UnitRef>
+all_units(const Placement& placement)
+{
+    std::vector<UnitRef> units;
+    for (int i = 0; i < placement.num_instances(); ++i) {
+        const int n =
+            placement.instances()[static_cast<std::size_t>(i)].units;
+        for (int u = 0; u < n; ++u)
+            units.push_back(UnitRef{i, u});
+    }
+    return units;
+}
+
+} // namespace
+
+AnnealResult
+greedy_search(Placement initial, const Evaluator& evaluator, Goal goal,
+              std::optional<QosConstraint> qos,
+              const GreedyOptions& opts)
+{
+    require(initial.valid(), "greedy_search: initial placement invalid");
+    require(opts.iterations >= 1,
+            "greedy_search: iterations must be >= 1");
+    if (qos) {
+        require(qos->instance >= 0 &&
+                    qos->instance < initial.num_instances(),
+                "greedy_search: QoS instance out of range");
+    }
+    const double direction =
+        goal == Goal::MinimizeTotalTime ? 1.0 : -1.0;
+    Rng rng(opts.seed);
+
+    Placement current = std::move(initial);
+    Score current_score = score_of(current, evaluator, qos);
+    const auto units = all_units(current);
+    int accepted = 0;
+
+    for (int iter = 0; iter < opts.iterations; ++iter) {
+        UnitRef a;
+        UnitRef b;
+        bool found = false;
+        for (int attempt = 0; attempt < 100 && !found; ++attempt) {
+            a = units[rng.uniform_index(units.size())];
+            b = units[rng.uniform_index(units.size())];
+            found = current.swap_is_valid(a.instance, a.unit,
+                                          b.instance, b.unit);
+        }
+        if (!found)
+            continue;
+        current.swap_units(a.instance, a.unit, b.instance, b.unit);
+        const Score cand = score_of(current, evaluator, qos);
+
+        // The paper's rule: take the swap only if it helps — first the
+        // QoS constraint, then the total time.
+        bool accept = false;
+        if (cand.violation < current_score.violation - 1e-12) {
+            accept = true;
+        } else if (cand.violation <= current_score.violation + 1e-12) {
+            accept =
+                direction * (cand.total - current_score.total) < 0.0;
+        }
+        if (accept) {
+            current_score = cand;
+            ++accepted;
+        } else {
+            current.swap_units(a.instance, a.unit, b.instance, b.unit);
+        }
+    }
+    return AnnealResult{std::move(current), current_score.total,
+                        current_score.violation <= 0.0, accepted};
+}
+
+AnnealResult
+random_restart_search(const std::vector<Instance>& instances,
+                      const sim::ClusterSpec& cluster,
+                      const Evaluator& evaluator, Goal goal,
+                      std::optional<QosConstraint> qos,
+                      const GreedyOptions& opts)
+{
+    require(opts.restarts >= 1,
+            "random_restart_search: restarts must be >= 1");
+    const double direction =
+        goal == Goal::MinimizeTotalTime ? 1.0 : -1.0;
+
+    Rng rng(opts.seed);
+    bool have_best = false;
+    AnnealResult best{Placement(instances, cluster.num_nodes,
+                                cluster.slots_per_node),
+                      0.0, false, 0};
+    for (int r = 0; r < opts.restarts; ++r) {
+        GreedyOptions climb = opts;
+        climb.seed = rng.next_u64();
+        auto initial = Placement::random(instances, cluster, rng);
+        auto result = greedy_search(std::move(initial), evaluator,
+                                    goal, qos, climb);
+        const bool better =
+            !have_best ||
+            (result.qos_met && !best.qos_met) ||
+            (result.qos_met == best.qos_met &&
+             direction * (result.total_time - best.total_time) < 0.0);
+        if (better) {
+            best = std::move(result);
+            have_best = true;
+        }
+    }
+    return best;
+}
+
+} // namespace imc::placement

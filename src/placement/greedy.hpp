@@ -1,0 +1,59 @@
+#ifndef IMC_PLACEMENT_GREEDY_HPP
+#define IMC_PLACEMENT_GREEDY_HPP
+
+/**
+ * @file
+ * Alternative placement search algorithms.
+ *
+ * The paper's Section 5 describes its search loosely — "swaps the
+ * locations of two VMs if the new VM placement performs better while
+ * it satisfies given QoS constraints", i.e. a stochastic hill climb
+ * (the technique Whare-Map [12] uses), with simulated annealing as
+ * the framing. This module provides both pure variants so the two can
+ * be compared against the annealer (see bench/ablation_placement):
+ *
+ *  - greedy_search: strict hill climbing with random swap proposals —
+ *    the paper's literal loop; simple but trappable by the
+ *    non-monotonicity of the heterogeneity conversion.
+ *  - random_restart_search: hill climbing restarted from multiple
+ *    random placements, keeping the best result.
+ */
+
+#include "placement/annealer.hpp"
+
+namespace imc::placement {
+
+/** Knobs of the hill-climbing searches. */
+struct GreedyOptions {
+    /** Proposed swaps per climb. */
+    int iterations = 4000;
+    /** Independent restarts (random_restart_search only). */
+    int restarts = 5;
+    /** RNG seed. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * The paper's literal search loop: propose a random valid swap of two
+ * units of different workloads and keep it only if it improves the
+ * objective while never worsening QoS feasibility.
+ */
+AnnealResult greedy_search(Placement initial,
+                           const Evaluator& evaluator, Goal goal,
+                           std::optional<QosConstraint> qos,
+                           const GreedyOptions& opts);
+
+/**
+ * Hill climbing from several random restarts; returns the best
+ * climb's result. The initial placement's instance set seeds the
+ * restarts.
+ */
+AnnealResult random_restart_search(const std::vector<Instance>& instances,
+                                   const sim::ClusterSpec& cluster,
+                                   const Evaluator& evaluator, Goal goal,
+                                   std::optional<QosConstraint> qos,
+                                   const GreedyOptions& opts);
+
+} // namespace imc::placement
+
+#endif // IMC_PLACEMENT_GREEDY_HPP

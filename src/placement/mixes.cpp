@@ -1,0 +1,56 @@
+#include "placement/mixes.hpp"
+
+#include "common/error.hpp"
+#include "workload/catalog.hpp"
+
+namespace imc::placement {
+
+const std::vector<Mix>&
+table5_mixes()
+{
+    static const std::vector<Mix> mixes{
+        // High performance difference between best and worst (20%~).
+        {"HW1", {"N.mg", "N.cg", "H.KM", "M.lmps"}, -1},
+        {"HW2", {"M.zeus", "C.libq", "H.KM", "M.Gems"}, -1},
+        {"HW3", {"C.libq", "N.cg", "H.KM", "S.PR"}, -1},
+        {"HM1", {"M.zeus", "S.WC", "M.Gems", "S.PR"}, -1},
+        {"HM2", {"H.KM", "M.Gems", "M.lu", "C.xbmk"}, -1},
+        {"HM3", {"S.CF", "H.KM", "M.Gems", "M.Gems"}, -1},
+        // Medium performance difference (5~20%).
+        {"MW", {"N.mg", "H.KM", "H.KM", "M.lesl"}, -1},
+        {"MM", {"C.cact", "C.libq", "M.Gems", "M.lmps"}, -1},
+        {"MB", {"N.cg", "M.milc", "C.libq", "C.xbmk"}, -1},
+        // Low performance difference (~5%).
+        {"L", {"M.lesl", "M.zeus", "M.zeus", "N.mg"}, -1},
+    };
+    return mixes;
+}
+
+const std::vector<Mix>&
+qos_mixes()
+{
+    static const std::vector<Mix> mixes{
+        {"QoS-a", {"M.milc", "C.mcf", "N.mg", "H.KM"}, 0},
+        {"QoS-b", {"N.cg", "C.libq", "C.sopl", "S.PR"}, 0},
+        {"QoS-c", {"N.mg", "C.sopl", "S.PR", "M.Gems"}, 0},
+        {"QoS-d", {"S.CF", "C.libq", "H.KM", "M.lesl"}, 0},
+    };
+    return mixes;
+}
+
+std::vector<Instance>
+instantiate(const Mix& mix, const sim::ClusterSpec& cluster)
+{
+    require(!mix.apps.empty(), "instantiate: empty mix");
+    const int total_slots = cluster.num_nodes * cluster.slots_per_node;
+    require(total_slots % static_cast<int>(mix.apps.size()) == 0,
+            "instantiate: slots not divisible among workloads");
+    const int units = total_slots / static_cast<int>(mix.apps.size());
+    std::vector<Instance> instances;
+    for (const auto& abbrev : mix.apps)
+        instances.push_back(
+            Instance{workload::find_app(abbrev), units});
+    return instances;
+}
+
+} // namespace imc::placement

@@ -1,0 +1,51 @@
+#ifndef IMC_PLACEMENT_MIXES_HPP
+#define IMC_PLACEMENT_MIXES_HPP
+
+/**
+ * @file
+ * The evaluation workload mixes of Section 5.
+ *
+ * Table 5 lists the paper's ten throughput-placement mixes verbatim
+ * (grouped by the performance gap between the best and worst
+ * placements: High / Medium / Low). The four QoS mixes of Figure 10
+ * are not enumerated in the paper text, so four representative mixes —
+ * each pairing one mission-critical distributed application with a
+ * spread of aggressive and gentle co-runners — stand in for them; the
+ * substitution is recorded in DESIGN.md.
+ */
+
+#include <string>
+#include <vector>
+
+#include "placement/placement.hpp"
+
+namespace imc::placement {
+
+/** One evaluation mix of four application workloads. */
+struct Mix {
+    /** Paper index, e.g. "HW1". */
+    std::string name;
+    /** Abbreviations of the four workloads. */
+    std::vector<std::string> apps;
+    /** Index of the QoS-critical workload, or -1 for none. */
+    int qos_index = -1;
+};
+
+/** The ten Table 5 mixes, in paper order. */
+const std::vector<Mix>& table5_mixes();
+
+/** The four Figure 10 QoS mixes (representative; see DESIGN.md). */
+const std::vector<Mix>& qos_mixes();
+
+/**
+ * Instantiate a mix: one instance per workload, each with
+ * cluster.num_nodes * slots / 4 units... concretely, with four
+ * workloads on the paper's 8-node/2-slot cluster each instance gets 4
+ * units (16 VMs), reproducing the Section 5.1 setup.
+ */
+std::vector<Instance> instantiate(const Mix& mix,
+                                  const sim::ClusterSpec& cluster);
+
+} // namespace imc::placement
+
+#endif // IMC_PLACEMENT_MIXES_HPP

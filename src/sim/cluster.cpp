@@ -1,0 +1,43 @@
+#include "sim/cluster.hpp"
+
+namespace imc::sim {
+
+ClusterSpec
+ClusterSpec::private8()
+{
+    ClusterSpec spec;
+    spec.name = "private8";
+    spec.num_nodes = 8;
+    // Two E5-2650 sockets share 2 x 20 MB LLC; the abstract model uses
+    // a single pooled cache and bandwidth figure per node.
+    spec.node.llc_mb = 20.0;
+    spec.node.bw_gbps = 30.0;
+    spec.node.share_alpha = 0.75;
+    spec.slots_per_node = 2;
+    spec.procs_per_unit = 4;
+    spec.background_sigma = 0.0;
+    return spec;
+}
+
+ClusterSpec
+ClusterSpec::ec2_32()
+{
+    ClusterSpec spec;
+    spec.name = "ec2_32";
+    spec.num_nodes = 32;
+    // A c4.2xlarge slice of a shared host. The application uses four
+    // of the eight vCPUs and the co-runner the other four (Section 6),
+    // so a "unit" here is about half a private-cluster unit relative
+    // to the slice's cache/bandwidth envelope.
+    spec.node.llc_mb = 16.0;
+    spec.node.bw_gbps = 36.0;
+    spec.node.share_alpha = 0.75;
+    spec.slots_per_node = 2;
+    spec.procs_per_unit = 1;
+    // Other users' VMs share the physical hosts (Section 6): the
+    // model cannot see them, so validation errors rise.
+    spec.background_sigma = 0.55;
+    return spec;
+}
+
+} // namespace imc::sim

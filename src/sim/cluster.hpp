@@ -1,0 +1,51 @@
+#ifndef IMC_SIM_CLUSTER_HPP
+#define IMC_SIM_CLUSTER_HPP
+
+/**
+ * @file
+ * Cluster configurations.
+ *
+ * Two built-in profiles mirror the paper's testbeds:
+ *  - private8: the 8-node Xen cluster of Section 3.1 (2x Xeon E5-2650,
+ *    16 cores, up to two co-located application units per node);
+ *  - ec2_32: the 32-VM Amazon EC2 c4.2xlarge setup of Section 6, where
+ *    each "node" is one VM whose spare vCPUs host the co-runner and
+ *    where unmeasured background interference from other users' VMs
+ *    exists.
+ */
+
+#include <string>
+
+#include "sim/contention.hpp"
+
+namespace imc::sim {
+
+/** Static description of a homogeneous cluster. */
+struct ClusterSpec {
+    /** Human-readable profile name (printed by benches). */
+    std::string name;
+    /** Number of physical nodes. */
+    int num_nodes = 8;
+    /** Per-node shared-resource capacities. */
+    NodeResources node;
+    /** Distinct co-located application units allowed per node. */
+    int slots_per_node = 2;
+    /** Simulated VMs per application unit on a node. */
+    int procs_per_unit = 4;
+    /**
+     * Std-dev of the unmeasured background interference pressure
+     * (bubble-score units) injected per node per run; 0 on the private
+     * cluster, > 0 on EC2 where other users' VMs share the hosts.
+     */
+    double background_sigma = 0.0;
+
+    /** The paper's private 8-node Xen cluster (Section 3.1). */
+    static ClusterSpec private8();
+
+    /** The paper's 32-VM Amazon EC2 configuration (Section 6). */
+    static ClusterSpec ec2_32();
+};
+
+} // namespace imc::sim
+
+#endif // IMC_SIM_CLUSTER_HPP

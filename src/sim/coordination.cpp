@@ -1,0 +1,121 @@
+#include "sim/coordination.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace imc::sim {
+
+Barrier::Barrier(Simulation& sim, int size, double cost)
+    : sim_(sim), size_(size), cost_(cost)
+{
+    require(size >= 1, "Barrier: size must be >= 1");
+    require(cost >= 0.0, "Barrier: negative cost");
+    waiting_.reserve(static_cast<std::size_t>(size));
+}
+
+void
+Barrier::arrive(Callback resume)
+{
+    invariant(static_cast<int>(waiting_.size()) < size_,
+              "Barrier: more arrivals than participants");
+    waiting_.push_back(std::move(resume));
+    if (static_cast<int>(waiting_.size()) < size_)
+        return;
+    // Last arrival: release everyone after the collective latency.
+    ++cycles_;
+    std::vector<Callback> batch;
+    batch.swap(waiting_);
+    for (auto& cb : batch)
+        sim_.schedule(cost_, std::move(cb));
+}
+
+TaskPool::TaskPool(Simulation& sim,
+                   std::vector<std::vector<double>> stages,
+                   double shuffle_cost)
+    : sim_(sim), stages_(std::move(stages)), shuffle_cost_(shuffle_cost)
+{
+    require(shuffle_cost >= 0.0, "TaskPool: negative shuffle cost");
+    for (const auto& stage : stages_) {
+        require(!stage.empty(), "TaskPool: empty stage");
+        for (double w : stage)
+            require(w >= 0.0, "TaskPool: negative task work");
+    }
+    if (stages_.empty()) {
+        finished_ = true;
+    } else {
+        queue_.assign(stages_[0].begin(), stages_[0].end());
+    }
+}
+
+void
+TaskPool::request(GrantFn cb)
+{
+    if (finished_ || !queue_.empty()) {
+        grant(std::move(cb));
+    } else {
+        // Stage drained but tasks still in flight: park until the next
+        // stage opens (or the pool finishes).
+        parked_.push_back(std::move(cb));
+    }
+}
+
+void
+TaskPool::complete_task()
+{
+    invariant(in_flight_ > 0, "TaskPool: completion without a grant");
+    --in_flight_;
+    maybe_advance();
+}
+
+void
+TaskPool::grant(GrantFn cb)
+{
+    if (finished_) {
+        sim_.schedule(0.0, [cb = std::move(cb)] { cb(Grant{true, 0.0}); });
+        return;
+    }
+    invariant(!queue_.empty(), "TaskPool: grant from an empty queue");
+    const double work = queue_.front();
+    queue_.pop_front();
+    ++in_flight_;
+    sim_.schedule(0.0,
+                  [cb = std::move(cb), work] { cb(Grant{false, work}); });
+}
+
+void
+TaskPool::maybe_advance()
+{
+    if (finished_ || !queue_.empty() || in_flight_ > 0)
+        return;
+    ++stage_;
+    if (stage_ >= stages_.size()) {
+        finished_ = true;
+        // Everything parked is released immediately: there is no next
+        // stage to wait for.
+        std::deque<GrantFn> batch;
+        batch.swap(parked_);
+        for (auto& cb : batch)
+            grant(std::move(cb));
+        return;
+    }
+    // Shuffle: the next stage's tasks appear after the shuffle latency.
+    sim_.schedule(shuffle_cost_, [this] { open_stage(); });
+}
+
+void
+TaskPool::open_stage()
+{
+    queue_.assign(stages_[stage_].begin(), stages_[stage_].end());
+    std::deque<GrantFn> batch;
+    batch.swap(parked_);
+    for (auto& cb : batch) {
+        if (!queue_.empty()) {
+            grant(std::move(cb));
+        } else {
+            parked_.push_back(std::move(cb));
+        }
+    }
+}
+
+} // namespace imc::sim

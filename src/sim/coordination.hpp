@@ -1,0 +1,132 @@
+#ifndef IMC_SIM_COORDINATION_HPP
+#define IMC_SIM_COORDINATION_HPP
+
+/**
+ * @file
+ * Synchronization primitives for simulated distributed applications.
+ *
+ * These encode the two parallelism structures the paper identifies as
+ * the cause of different interference-propagation classes (Section
+ * 3.2):
+ *
+ *  - Barrier: bulk-synchronous coupling (MPI collectives). One slow
+ *    node holds every other node at the barrier, so local interference
+ *    propagates to the whole application ("high propagation").
+ *  - TaskPool: dynamic load balancing over stages (Hadoop/Spark task
+ *    scheduling). Fast nodes absorb work from slow ones, so the
+ *    aggregate throughput — not the worst node — sets the pace
+ *    ("proportional propagation"), with per-stage shuffle barriers
+ *    reintroducing a straggler tail.
+ */
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/types.hpp"
+
+namespace imc::sim {
+
+/**
+ * A reusable cyclic barrier with a release latency.
+ *
+ * The Nth arrival releases all waiters after @c cost seconds of
+ * simulated collective-communication latency. The barrier then resets
+ * for the next cycle.
+ */
+class Barrier {
+  public:
+    /**
+     * @param sim  owning simulation (must outlive the barrier)
+     * @param size number of participants per cycle, >= 1
+     * @param cost collective latency applied at release, >= 0
+     */
+    Barrier(Simulation& sim, int size, double cost);
+
+    /**
+     * Arrive at the barrier; @p resume runs once all participants of
+     * this cycle have arrived (plus the collective latency).
+     */
+    void arrive(Callback resume);
+
+    /** Number of completed cycles so far. */
+    int cycles() const { return cycles_; }
+
+  private:
+    Simulation& sim_;
+    int size_;
+    double cost_;
+    int cycles_ = 0;
+    std::vector<Callback> waiting_;
+};
+
+/**
+ * A multi-stage dynamic task pool with shuffle barriers between
+ * stages.
+ *
+ * Workers repeatedly call request(); each grant carries one task's
+ * work units. A stage advances only when every task of the stage has
+ * been completed (reported via complete_task()), after which a shuffle
+ * latency elapses before the next stage's tasks become available.
+ * Workers that request while the current stage is drained park until
+ * the next stage opens; once the last stage drains, every parked and
+ * future request is granted `finished`.
+ */
+class TaskPool {
+  public:
+    /** Outcome of a request. */
+    struct Grant {
+        /** True when all stages are drained: the worker should stop. */
+        bool finished = false;
+        /** Work units of the granted task (when !finished). */
+        double work = 0.0;
+    };
+
+    using GrantFn = std::function<void(Grant)>;
+
+    /**
+     * @param sim          owning simulation
+     * @param stages       per-stage task work lists; stages run in order
+     * @param shuffle_cost latency between stages, >= 0
+     */
+    TaskPool(Simulation& sim, std::vector<std::vector<double>> stages,
+             double shuffle_cost);
+
+    /** Ask for the next task (asynchronous; cb may run immediately
+     *  after a zero-delay event or much later). */
+    void request(GrantFn cb);
+
+    /** Report the previously granted task as complete. */
+    void complete_task();
+
+    /** Index of the stage currently being drained (== stage count when
+     *  the pool has finished). */
+    std::size_t current_stage() const { return stage_; }
+
+    /** True once every stage has fully drained. */
+    bool finished() const { return finished_; }
+
+  private:
+    /** Hand a queued task (or `finished`) to a callback, async. */
+    void grant(GrantFn cb);
+
+    /** Advance to the next stage if the current one fully drained. */
+    void maybe_advance();
+
+    /** Open the current stage's queue and serve parked workers. */
+    void open_stage();
+
+    Simulation& sim_;
+    std::vector<std::vector<double>> stages_;
+    double shuffle_cost_;
+    std::size_t stage_ = 0;
+    std::deque<double> queue_;
+    std::deque<GrantFn> parked_;
+    int in_flight_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace imc::sim
+
+#endif // IMC_SIM_COORDINATION_HPP

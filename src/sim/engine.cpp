@@ -1,0 +1,201 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace imc::sim {
+
+Simulation::Simulation(ClusterSpec spec) : spec_(std::move(spec))
+{
+    require(spec_.num_nodes > 0, "Simulation: cluster needs >= 1 node");
+    node_tenants_.resize(static_cast<std::size_t>(spec_.num_nodes));
+}
+
+EventId
+Simulation::schedule(double dt, Callback cb)
+{
+    require(dt >= 0.0, "Simulation::schedule: negative delay");
+    return queue_.schedule_at(now() + dt, std::move(cb));
+}
+
+void
+Simulation::cancel(EventId id)
+{
+    queue_.cancel(id);
+}
+
+TenantId
+Simulation::add_tenant(NodeId node, const TenantDemand& demand)
+{
+    require(node >= 0 && node < spec_.num_nodes,
+            "add_tenant: node index out of range");
+    const auto id = static_cast<TenantId>(tenants_.size());
+    tenants_.push_back(Tenant{node, demand, 1.0, true});
+    node_tenants_[static_cast<std::size_t>(node)].push_back(id);
+    refresh_node(node);
+    return id;
+}
+
+void
+Simulation::remove_tenant(TenantId t)
+{
+    auto& tenant = tenants_.at(static_cast<std::size_t>(t));
+    invariant(tenant.live, "remove_tenant: tenant already removed");
+    for (std::size_t pid = 0; pid < procs_.size(); ++pid) {
+        invariant(procs_[pid].tenant != t || !procs_[pid].busy,
+                  "remove_tenant: tenant still has a busy proc");
+    }
+    auto& list = node_tenants_[static_cast<std::size_t>(tenant.node)];
+    list.erase(std::find(list.begin(), list.end(), t));
+    tenant.live = false;
+    refresh_node(tenant.node);
+}
+
+void
+Simulation::set_demand(TenantId t, const TenantDemand& demand)
+{
+    auto& tenant = tenants_.at(static_cast<std::size_t>(t));
+    invariant(tenant.live, "set_demand: tenant removed");
+    tenant.demand = demand;
+    refresh_node(tenant.node);
+}
+
+double
+Simulation::tenant_slowdown(TenantId t) const
+{
+    const auto& tenant = tenants_.at(static_cast<std::size_t>(t));
+    invariant(tenant.live, "tenant_slowdown: tenant removed");
+    return tenant.slowdown;
+}
+
+NodeId
+Simulation::node_of(TenantId t) const
+{
+    return tenants_.at(static_cast<std::size_t>(t)).node;
+}
+
+int
+Simulation::tenants_on(NodeId node) const
+{
+    return static_cast<int>(
+        node_tenants_.at(static_cast<std::size_t>(node)).size());
+}
+
+ProcId
+Simulation::add_proc(TenantId t)
+{
+    const auto& tenant = tenants_.at(static_cast<std::size_t>(t));
+    invariant(tenant.live, "add_proc: tenant removed");
+    const auto id = static_cast<ProcId>(procs_.size());
+    Proc p;
+    p.tenant = t;
+    p.rate = 1.0 / tenant.slowdown;
+    procs_.push_back(std::move(p));
+    return id;
+}
+
+void
+Simulation::compute(ProcId pid, double work, Callback done)
+{
+    require(work >= 0.0, "compute: negative work");
+    auto& p = procs_.at(static_cast<std::size_t>(pid));
+    invariant(!p.busy, "compute: proc already busy");
+    p.busy = true;
+    p.remaining = work;
+    p.rate = 1.0 / tenants_[static_cast<std::size_t>(p.tenant)].slowdown;
+    p.last_update = now();
+    p.done = std::move(done);
+    ++stats_.computes;
+    schedule_completion(pid);
+}
+
+bool
+Simulation::proc_busy(ProcId pid) const
+{
+    return procs_.at(static_cast<std::size_t>(pid)).busy;
+}
+
+void
+Simulation::run(std::uint64_t max_events)
+{
+    const std::uint64_t start = queue_.executed();
+    while (queue_.pop_and_run()) {
+        invariant(queue_.executed() - start <= max_events,
+                  "Simulation::run: event budget exceeded (runaway?)");
+    }
+}
+
+bool
+Simulation::step()
+{
+    return queue_.pop_and_run();
+}
+
+void
+Simulation::refresh_node(NodeId node)
+{
+    auto& ids = node_tenants_[static_cast<std::size_t>(node)];
+    std::vector<TenantDemand> demands;
+    demands.reserve(ids.size());
+    for (TenantId t : ids)
+        demands.push_back(tenants_[static_cast<std::size_t>(t)].demand);
+
+    ++stats_.contention_solves;
+    const auto results = solve_contention(spec_.node, demands);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        tenants_[static_cast<std::size_t>(ids[i])].slowdown =
+            results[i].slowdown;
+    }
+
+    // Settle and reschedule every busy proc whose tenant lives here.
+    for (std::size_t pid = 0; pid < procs_.size(); ++pid) {
+        auto& p = procs_[pid];
+        if (!p.busy)
+            continue;
+        const auto& tenant = tenants_[static_cast<std::size_t>(p.tenant)];
+        if (tenant.node != node)
+            continue;
+        settle(p);
+        p.rate = 1.0 / tenant.slowdown;
+        queue_.cancel(p.event);
+        ++stats_.proc_reschedules;
+        schedule_completion(static_cast<ProcId>(pid));
+    }
+}
+
+void
+Simulation::settle(Proc& p)
+{
+    const double elapsed = now() - p.last_update;
+    p.remaining = std::max(0.0, p.remaining - elapsed * p.rate);
+    p.last_update = now();
+}
+
+void
+Simulation::schedule_completion(ProcId pid)
+{
+    auto& p = procs_[static_cast<std::size_t>(pid)];
+    invariant(p.rate > 0.0, "schedule_completion: nonpositive rate");
+    const double dt = p.remaining / p.rate;
+    p.event = schedule(dt, [this, pid] { complete(pid); });
+}
+
+void
+Simulation::complete(ProcId pid)
+{
+    auto& p = procs_[static_cast<std::size_t>(pid)];
+    invariant(p.busy, "complete: proc not busy");
+    settle(p);
+    invariant(p.remaining <= 1e-9,
+              "complete: fired with work remaining");
+    p.busy = false;
+    p.remaining = 0.0;
+    Callback done = std::move(p.done);
+    p.done = nullptr;
+    if (done)
+        done();
+}
+
+} // namespace imc::sim

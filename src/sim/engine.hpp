@@ -1,0 +1,172 @@
+#ifndef IMC_SIM_ENGINE_HPP
+#define IMC_SIM_ENGINE_HPP
+
+/**
+ * @file
+ * The discrete-event cluster simulation engine.
+ *
+ * A Simulation hosts a cluster of nodes. Workloads register *tenants*
+ * (one per application per node, carrying that application's
+ * shared-resource demand) and *procs* (simulated VMs executing work).
+ * Whenever a node's tenant set changes, the contention model is
+ * re-solved and every in-flight computation on that node is settled at
+ * its old rate and rescheduled at its new rate, so co-location changes
+ * take effect mid-computation — exactly the time-varying interference
+ * a consolidated cluster exhibits.
+ *
+ * Work is measured in *work units*: one unit takes one simulated
+ * second at slowdown 1.0.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/contention.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace imc::sim {
+
+/** Cheap counters the engine maintains for diagnostics and tests. */
+struct SimStats {
+    /** Contention re-solves (tenant arrivals/departures/changes). */
+    std::uint64_t contention_solves = 0;
+    /** In-flight computations settled+rescheduled by those solves. */
+    std::uint64_t proc_reschedules = 0;
+    /** compute() calls issued. */
+    std::uint64_t computes = 0;
+};
+
+/**
+ * A discrete-event simulation of one cluster.
+ *
+ * Not copyable; all workload state references into it.
+ */
+class Simulation {
+  public:
+    /** Build an idle cluster from a spec. */
+    explicit Simulation(ClusterSpec spec);
+
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
+
+    /** The cluster configuration this simulation runs. */
+    const ClusterSpec& spec() const { return spec_; }
+
+    /** Current simulation time in seconds. */
+    double now() const { return queue_.now(); }
+
+    /**
+     * Schedule a callback after a relative delay.
+     *
+     * @param dt delay in seconds, >= 0
+     */
+    EventId schedule(double dt, Callback cb);
+
+    /** Cancel a pending event (no-op if already fired). */
+    void cancel(EventId id);
+
+    // --- Tenants -------------------------------------------------------
+
+    /**
+     * Register a tenant on a node and re-solve that node's contention.
+     *
+     * @param node   node index in [0, spec().num_nodes)
+     * @param demand the tenant's shared-resource demand
+     */
+    TenantId add_tenant(NodeId node, const TenantDemand& demand);
+
+    /** Remove a tenant; its procs must already be idle or done. */
+    void remove_tenant(TenantId t);
+
+    /** Replace a tenant's demand in place (phase change). */
+    void set_demand(TenantId t, const TenantDemand& demand);
+
+    /** Current execution-time multiplier of a tenant. */
+    double tenant_slowdown(TenantId t) const;
+
+    /** Node a tenant lives on. */
+    NodeId node_of(TenantId t) const;
+
+    /** Number of live tenants on a node. */
+    int tenants_on(NodeId node) const;
+
+    // --- Procs ---------------------------------------------------------
+
+    /**
+     * Add a simulated process bound to a tenant. Its compute rate
+     * follows the tenant's slowdown.
+     */
+    ProcId add_proc(TenantId t);
+
+    /**
+     * Run @p work units of computation on a proc, then invoke @p done.
+     *
+     * The proc must be idle. Zero work completes after a zero-delay
+     * event (still asynchronous, preserving event ordering).
+     */
+    void compute(ProcId p, double work, Callback done);
+
+    /** True while the proc has an unfinished compute in flight. */
+    bool proc_busy(ProcId p) const;
+
+    // --- Execution -----------------------------------------------------
+
+    /**
+     * Run until no events remain.
+     *
+     * @param max_events safety valve; LogicBug beyond it (runaway)
+     */
+    void run(std::uint64_t max_events = 50'000'000);
+
+    /** Execute a single event. @return false when the queue is empty */
+    bool step();
+
+    /** Total events executed so far. */
+    std::uint64_t events_executed() const { return queue_.executed(); }
+
+    /** Engine activity counters. */
+    const SimStats& stats() const { return stats_; }
+
+  private:
+    struct Tenant {
+        NodeId node = -1;
+        TenantDemand demand;
+        double slowdown = 1.0;
+        bool live = false;
+    };
+
+    struct Proc {
+        TenantId tenant = -1;
+        bool busy = false;
+        double remaining = 0.0;   // work units left
+        double rate = 1.0;        // work units per second
+        double last_update = 0.0; // when remaining was last settled
+        EventId event = 0;        // pending completion event
+        Callback done;
+    };
+
+    /** Re-solve contention on a node and reschedule affected procs. */
+    void refresh_node(NodeId node);
+
+    /** Settle a busy proc's remaining work up to now(). */
+    void settle(Proc& p);
+
+    /** (Re)schedule a busy proc's completion event. */
+    void schedule_completion(ProcId pid);
+
+    /** Fire a proc's completion. */
+    void complete(ProcId pid);
+
+    ClusterSpec spec_;
+    EventQueue queue_;
+    SimStats stats_;
+    std::vector<std::vector<TenantId>> node_tenants_;
+    std::vector<Tenant> tenants_;
+    std::vector<Proc> procs_;
+};
+
+} // namespace imc::sim
+
+#endif // IMC_SIM_ENGINE_HPP

@@ -1,0 +1,48 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace imc::sim {
+
+EventId
+EventQueue::schedule_at(double time, Callback cb)
+{
+    require(time >= now_ - 1e-12,
+            "EventQueue: cannot schedule into the past");
+    require(static_cast<bool>(cb), "EventQueue: null callback");
+    const EventId id = next_id_++;
+    heap_.push(Entry{time, next_seq_++, id});
+    live_.emplace(id, std::move(cb));
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    live_.erase(id);
+}
+
+bool
+EventQueue::pop_and_run()
+{
+    while (!heap_.empty()) {
+        const Entry e = heap_.top();
+        heap_.pop();
+        const auto it = live_.find(e.id);
+        if (it == live_.end())
+            continue; // cancelled; skip the tombstone
+        Callback cb = std::move(it->second);
+        live_.erase(it);
+        invariant(e.time >= now_ - 1e-12,
+                  "EventQueue: time went backwards");
+        now_ = std::max(now_, e.time);
+        ++executed_;
+        cb();
+        return true;
+    }
+    return false;
+}
+
+} // namespace imc::sim

@@ -1,0 +1,127 @@
+#ifndef IMC_WORKLOAD_APP_SPEC_HPP
+#define IMC_WORKLOAD_APP_SPEC_HPP
+
+/**
+ * @file
+ * Static description of an application workload.
+ *
+ * An AppSpec carries everything the simulator needs to execute the
+ * workload: its parallelism template (bulk-synchronous, dynamic task
+ * pool, or independent batch), the template's parameters, and the
+ * shared-resource demand one *unit* of the application places on a
+ * node. The interference model never reads these fields — it only sees
+ * profiling runs — so specs play the role the real binaries played in
+ * the paper.
+ */
+
+#include <string>
+
+#include "sim/contention.hpp"
+
+namespace imc::workload {
+
+/** Parallelism template of a workload. */
+enum class AppKind {
+    /** Bulk-synchronous iterations with collectives (SPEC MPI, NPB). */
+    Bsp,
+    /** Multi-stage dynamic task pool (Hadoop, Spark, and M.Gems'
+     *  barrier-poor pipeline, which dynamic redistribution
+     *  approximates). */
+    TaskPool,
+    /** Independent single-node instances (SPEC CPU2006 co-runners). */
+    Batch,
+};
+
+/** Parameters of the bulk-synchronous template. */
+struct BspParams {
+    /** Number of compute iterations per process. */
+    int iterations = 40;
+    /** Mean work units per process per iteration. */
+    double work_per_iter = 1.0;
+    /** Lognormal sigma of per-process per-iteration work imbalance. */
+    double imbalance_cv = 0.10;
+    /** Latency of one collective operation, seconds. */
+    double collective_cost = 0.02;
+    /** Iterations between collectives (1 = barrier every iteration). */
+    int iters_per_collective = 1;
+    /**
+     * Node-correlated per-iteration noise: all processes of a node
+     * share a lognormal factor with sigma = base + slope * (slowdown
+     * - 1). Contention does not just slow a node, it makes it
+     * *erratic*, so even lower-pressure interfered nodes
+     * intermittently become the critical path of a barrier-coupled
+     * iteration — the behaviour behind the paper's N+1 max policy.
+     */
+    double node_noise_base = 0.02;
+    /** Interference scaling of the node-correlated noise. */
+    double node_noise_slope = 0.18;
+};
+
+/** Parameters of the dynamic task-pool template. */
+struct TaskPoolParams {
+    /** Number of stages (shuffle barrier between consecutive stages). */
+    int stages = 6;
+    /** Tasks per worker per stage (the task pool holds
+     *  stages * tasks_per_wave * workers tasks in total). */
+    int tasks_per_wave = 3;
+    /** Mean work units per task. */
+    double task_work_mean = 2.2;
+    /** Lognormal sigma of task size skew. */
+    double task_work_cv = 0.30;
+    /** Latency of one shuffle between stages, seconds. */
+    double shuffle_cost = 0.30;
+    /** Whether one process is an idle master (Hadoop/Spark): it does
+     *  no work and its node's demand shrinks accordingly
+     *  (Section 3.4). */
+    bool idle_master = true;
+};
+
+/** Parameters of the independent batch template. */
+struct BatchParams {
+    /** Total work units per instance. */
+    double total_work = 40.0;
+    /** Segments the work is split into (noise granularity). */
+    int segments = 40;
+};
+
+/** Full static description of one application workload. */
+struct AppSpec {
+    /** Full benchmark name, e.g. "126.lammps". */
+    std::string name;
+    /** Paper abbreviation, e.g. "M.lmps" (Table 1). */
+    std::string abbrev;
+    /** Suite, e.g. "SPEC MPI2007". */
+    std::string suite;
+    /** Parallelism template. */
+    AppKind kind = AppKind::Bsp;
+    /** Shared-resource demand of one unit (4 VMs) on a node. */
+    sim::TenantDemand demand;
+    /** Run-to-run lognormal execution noise sigma. */
+    double noise_sigma = 0.02;
+    /** M.Gems' Xen Dom0 blocked-I/O sensitivity (Section 4.3): extra
+     *  unpredictability when co-located with fluctuating-CPU apps. */
+    bool dom0_sensitive = false;
+    /**
+     * Mean compute slowdown whenever a node is shared with ANY busy
+     * co-tenant (Dom0 CPU starvation): with spare cores, Xen boosts
+     * blocked I/O; a co-tenant takes those cores away. Because the
+     * bubble is a busy co-tenant too, profiling runs capture this
+     * effect and the model predicts it — only the *fluctuating*
+     * co-tenant variance stays unmodeled.
+     */
+    double dom0_cotenancy_penalty = 0.0;
+    /** Hadoop/Spark-style fluctuating CPU load (triggers the Dom0
+     *  effect in a dom0_sensitive co-runner). */
+    bool fluctuating_cpu = false;
+
+    BspParams bsp;
+    TaskPoolParams pool;
+    BatchParams batch;
+
+    /** True for workloads that span multiple nodes. */
+    bool distributed() const { return kind != AppKind::Batch; }
+};
+
+} // namespace imc::workload
+
+#endif // IMC_WORKLOAD_APP_SPEC_HPP

@@ -1,0 +1,42 @@
+#ifndef IMC_WORKLOAD_BATCH_APP_HPP
+#define IMC_WORKLOAD_BATCH_APP_HPP
+
+/**
+ * @file
+ * Batch application driver (SPEC CPU2006 analogue).
+ *
+ * Instances are fully independent: no synchronization, each runs a
+ * fixed amount of work split into segments (so contention changes and
+ * noise apply at segment granularity). The completion metric is the
+ * mean instance finish time — a throughput view appropriate for
+ * independent batch work.
+ */
+
+#include <vector>
+
+#include "workload/app.hpp"
+
+namespace imc::workload {
+
+/** A live batch application instance. */
+class BatchApp : public RunningApp {
+  public:
+    /** Deploys tenants and starts all instances. */
+    BatchApp(sim::Simulation& sim, AppSpec spec, LaunchOptions opts);
+
+  private:
+    struct InstanceState {
+        sim::ProcId proc = -1;
+        int segments_left = 0;
+        Rng rng{0};
+    };
+
+    /** Run the next segment (or finish) of one instance. */
+    void step(std::size_t idx);
+
+    std::vector<InstanceState> instances_;
+};
+
+} // namespace imc::workload
+
+#endif // IMC_WORKLOAD_BATCH_APP_HPP

@@ -1,0 +1,86 @@
+#include "workload/bsp_app.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace imc::workload {
+
+BspApp::BspApp(sim::Simulation& sim, AppSpec spec, LaunchOptions opts)
+    : RunningApp(sim, std::move(spec), std::move(opts)),
+      // Base members (spec_, total_procs_) are initialized before the
+      // derived member-init list runs, so they are safe to use here.
+      barrier_(sim_, total_procs_, spec_.bsp.collective_cost)
+{
+    const auto& params = spec_.bsp;
+    require(params.iterations >= 1, "BspApp: iterations must be >= 1");
+    require(params.iters_per_collective >= 1,
+            "BspApp: iters_per_collective must be >= 1");
+
+    register_tenants();
+    node_seed_ = opts_.rng.fork("node-noise").seed();
+
+    procs_.resize(static_cast<std::size_t>(total_procs_));
+    std::size_t idx = 0;
+    for (std::size_t n = 0; n < tenants_.size(); ++n) {
+        for (int v = 0; v < opts_.procs_per_node; ++v, ++idx) {
+            procs_[idx].proc = sim_.add_proc(tenants_[n]);
+            procs_[idx].rng = opts_.rng.fork(idx);
+        }
+    }
+    for (std::size_t i = 0; i < procs_.size(); ++i)
+        step(i);
+}
+
+void
+BspApp::step(std::size_t idx)
+{
+    auto& ps = procs_[idx];
+    if (ps.iter >= spec_.bsp.iterations) {
+        proc_finished();
+        return;
+    }
+    const double imbalance =
+        ps.rng.lognormal_factor(spec_.bsp.imbalance_cv);
+    const double noise = ps.rng.lognormal_factor(noise_sigma());
+
+    // Node-correlated contention jitter: every process of this node
+    // draws the same per-iteration factor, with a sigma that grows
+    // with the node's current slowdown (contention makes nodes
+    // erratic, not just slow).
+    const auto node_idx =
+        idx / static_cast<std::size_t>(opts_.procs_per_node);
+    const sim::TenantId tenant = tenants_[node_idx];
+    const double slow = sim_.tenant_slowdown(tenant);
+    const double node_sigma =
+        spec_.bsp.node_noise_base +
+        spec_.bsp.node_noise_slope * std::max(0.0, slow - 1.0);
+    Rng node_rng(hash_combine(
+        node_seed_, hash_combine(node_idx,
+                                 static_cast<std::uint64_t>(ps.iter))));
+    const double node_factor = node_rng.lognormal_factor(node_sigma);
+
+    const double work = spec_.bsp.work_per_iter * imbalance * noise *
+                        node_factor * opts_.work_scale *
+                        dom0_factor(node_idx);
+    sim_.compute(ps.proc, work, [this, idx] { segment_done(idx); });
+}
+
+void
+BspApp::segment_done(std::size_t idx)
+{
+    auto& ps = procs_[idx];
+    ++ps.iter;
+    ++ps.since_collective;
+    const bool at_collective =
+        ps.since_collective >= spec_.bsp.iters_per_collective ||
+        ps.iter >= spec_.bsp.iterations; // final sync before exit
+    if (at_collective) {
+        ps.since_collective = 0;
+        barrier_.arrive([this, idx] { step(idx); });
+    } else {
+        step(idx);
+    }
+}
+
+} // namespace imc::workload

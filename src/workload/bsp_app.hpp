@@ -1,0 +1,52 @@
+#ifndef IMC_WORKLOAD_BSP_APP_HPP
+#define IMC_WORKLOAD_BSP_APP_HPP
+
+/**
+ * @file
+ * Bulk-synchronous application driver (SPEC MPI2007 / NPB analogue).
+ *
+ * Every process runs the same number of iterations; after each group
+ * of iterations all processes meet at a collective. A process on an
+ * interfered node computes slower, and because the collective is a
+ * full barrier, its delay stalls every other process — the paper's
+ * "high propagation" class (Section 3.2). Work imbalance across
+ * processes plus run-to-run noise determine how much *additional*
+ * interfering nodes still hurt once one node is already slow.
+ */
+
+#include <vector>
+
+#include "sim/coordination.hpp"
+#include "workload/app.hpp"
+
+namespace imc::workload {
+
+/** A live bulk-synchronous application instance. */
+class BspApp : public RunningApp {
+  public:
+    /** Deploys tenants and starts all processes at time now(). */
+    BspApp(sim::Simulation& sim, AppSpec spec, LaunchOptions opts);
+
+  private:
+    struct ProcState {
+        sim::ProcId proc = -1;
+        int iter = 0;             // completed iterations
+        int since_collective = 0; // iterations since the last barrier
+        Rng rng{0};
+    };
+
+    /** Issue the next compute segment (or finish) for a process. */
+    void step(std::size_t idx);
+
+    /** Compute-segment completion: barrier or next iteration. */
+    void segment_done(std::size_t idx);
+
+    sim::Barrier barrier_;
+    std::vector<ProcState> procs_;
+    /** Seed of the node-correlated per-iteration noise stream. */
+    std::uint64_t node_seed_ = 0;
+};
+
+} // namespace imc::workload
+
+#endif // IMC_WORKLOAD_BSP_APP_HPP

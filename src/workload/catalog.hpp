@@ -1,0 +1,53 @@
+#ifndef IMC_WORKLOAD_CATALOG_HPP
+#define IMC_WORKLOAD_CATALOG_HPP
+
+/**
+ * @file
+ * The benchmark catalog: the 18 applications of the paper's Table 1
+ * (12 distributed workloads used to study the interference model, 6
+ * SPEC CPU2006 batch workloads used as co-runners in the placement
+ * case studies).
+ *
+ * Since the real binaries and inputs are not available, each entry is
+ * a calibrated synthetic equivalent: its parallelism template encodes
+ * the synchronization structure the paper attributes to it, and its
+ * resource demand is set so the *measured* bubble score approximates
+ * the paper's Table 4 value. The calibration targets are:
+ *  - propagation class (high / proportional / low, Fig. 3),
+ *  - bubble score (Table 4),
+ *  - best heterogeneity policy class (Table 2).
+ */
+
+#include <vector>
+
+#include "workload/app_spec.hpp"
+
+namespace imc::workload {
+
+/** All 18 applications, in the paper's Table 1 order. */
+const std::vector<AppSpec>& catalog();
+
+/** The 12 distributed applications (SPEC MPI2007, NPB, Hadoop, Spark). */
+std::vector<AppSpec> distributed_apps();
+
+/** The 6 SPEC CPU2006 batch applications. */
+std::vector<AppSpec> batch_apps();
+
+/**
+ * Look up an application by its paper abbreviation (e.g. "M.lmps").
+ *
+ * @throws ConfigError if the abbreviation is unknown
+ */
+const AppSpec& find_app(const std::string& abbrev);
+
+/**
+ * The paper's Table 4 bubble scores, used as calibration targets and
+ * checked against measured scores in the Table 4 bench.
+ *
+ * @throws ConfigError if the abbreviation is unknown
+ */
+double paper_bubble_score(const std::string& abbrev);
+
+} // namespace imc::workload
+
+#endif // IMC_WORKLOAD_CATALOG_HPP

@@ -1,0 +1,48 @@
+#ifndef IMC_WORKLOAD_TASKPOOL_APP_HPP
+#define IMC_WORKLOAD_TASKPOOL_APP_HPP
+
+/**
+ * @file
+ * Dynamic task-pool application driver (Hadoop / Spark analogue; also
+ * used for M.Gems, whose barrier-poor pipelined structure absorbs
+ * local slack much like dynamic load redistribution does).
+ *
+ * Workers pull tasks from a shared multi-stage pool, so fast nodes
+ * naturally take on more work than interfered ones: aggregate
+ * throughput — not the slowest node — paces the job ("proportional
+ * propagation", Section 3.2). Shuffle barriers between stages add a
+ * straggler tail; with a knee-shaped cache sensitivity this is what
+ * makes the worst pressure dominate for the Spark workloads (their
+ * best heterogeneity policy is N max in Table 2).
+ */
+
+#include <vector>
+
+#include "sim/coordination.hpp"
+#include "workload/app.hpp"
+
+namespace imc::workload {
+
+/** A live task-pool application instance. */
+class TaskPoolApp : public RunningApp {
+  public:
+    /** Deploys tenants, builds the task pool, starts all workers. */
+    TaskPoolApp(sim::Simulation& sim, AppSpec spec, LaunchOptions opts);
+
+  private:
+    struct WorkerState {
+        sim::ProcId proc = -1;
+        std::size_t node_idx = 0;
+        Rng rng{0};
+    };
+
+    /** Worker loop: request -> compute -> complete -> request. */
+    void pull(std::size_t idx);
+
+    sim::TaskPool pool_;
+    std::vector<WorkerState> workers_;
+};
+
+} // namespace imc::workload
+
+#endif // IMC_WORKLOAD_TASKPOOL_APP_HPP

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests of the simulated-annealing placement search against a
+ * synthetic evaluator with a known optimal co-location structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "placement/annealer.hpp"
+#include "workload/catalog.hpp"
+
+using namespace imc;
+using namespace imc::placement;
+using namespace imc::workload;
+
+namespace {
+
+/**
+ * Synthetic evaluator: each instance has a fixed generated score and a
+ * linear sensitivity — normalized time = 1 + 0.05 * sum of received
+ * pressures. The optimum pairs the most aggressive with the least
+ * sensitive... with uniform sensitivity the total is invariant, so
+ * instance sensitivities are scaled to create a unique optimum.
+ */
+class FakeEvaluator : public Evaluator {
+  public:
+    FakeEvaluator(std::vector<double> scores,
+                  std::vector<double> sensitivity)
+        : scores_(std::move(scores)),
+          sensitivity_(std::move(sensitivity))
+    {
+    }
+
+    std::vector<double>
+    predict(const Placement& placement) const override
+    {
+        const auto lists = placement.pressure_lists(scores_);
+        std::vector<double> out;
+        for (std::size_t i = 0; i < lists.size(); ++i) {
+            double sum = 0.0;
+            for (double p : lists[i])
+                sum += p;
+            out.push_back(1.0 + sensitivity_[i] * sum);
+        }
+        return out;
+    }
+
+  private:
+    std::vector<double> scores_;
+    std::vector<double> sensitivity_;
+};
+
+std::vector<Instance>
+four_instances()
+{
+    return {
+        Instance{find_app("M.milc"), 4},
+        Instance{find_app("M.Gems"), 4},
+        Instance{find_app("H.KM"), 4},
+        Instance{find_app("C.libq"), 4},
+    };
+}
+
+} // namespace
+
+TEST(Annealer, FindsTheObviousOptimum)
+{
+    // Aggressors: instance 3 (score 8); sensitive: instance 0.
+    // Optimum: pair the aggressor with the insensitive instance 2.
+    const FakeEvaluator eval({1.0, 1.0, 1.0, 8.0},
+                             {0.10, 0.02, 0.0, 0.02});
+    Rng rng(5);
+    auto initial = Placement::random(
+        four_instances(), sim::ClusterSpec::private8(), rng);
+
+    AnnealOptions opts;
+    opts.iterations = 3000;
+    opts.seed = 9;
+    const auto result = anneal(initial, eval,
+                               Goal::MinimizeTotalTime, std::nullopt,
+                               opts);
+    ASSERT_TRUE(result.placement.valid());
+    // In the optimum, the sensitive instance 0 must not share any node
+    // with the big aggressor 3.
+    for (sim::NodeId node : result.placement.nodes_of(0)) {
+        const auto co = result.placement.co_tenants(0, node);
+        for (int other : co)
+            EXPECT_NE(other, 3) << result.placement.to_string();
+    }
+}
+
+TEST(Annealer, WorstGoalInvertsTheSearch)
+{
+    const FakeEvaluator eval({1.0, 1.0, 1.0, 8.0},
+                             {0.10, 0.02, 0.0, 0.02});
+    Rng rng(5);
+    auto initial = Placement::random(
+        four_instances(), sim::ClusterSpec::private8(), rng);
+    AnnealOptions opts;
+    opts.iterations = 3000;
+    opts.seed = 10;
+    const auto best = anneal(initial, eval, Goal::MinimizeTotalTime,
+                             std::nullopt, opts);
+    const auto worst = anneal(initial, eval, Goal::MaximizeTotalTime,
+                              std::nullopt, opts);
+    EXPECT_GT(worst.total_time, best.total_time + 0.5);
+}
+
+TEST(Annealer, NeverReturnsWorseThanInitialForBestGoal)
+{
+    const FakeEvaluator eval({2.0, 3.0, 1.0, 5.0},
+                             {0.05, 0.04, 0.01, 0.03});
+    Rng rng(21);
+    for (int trial = 0; trial < 5; ++trial) {
+        auto initial = Placement::random(
+            four_instances(), sim::ClusterSpec::private8(), rng);
+        const double initial_total = eval.total_time(initial);
+        AnnealOptions opts;
+        opts.iterations = 500;
+        opts.seed = static_cast<std::uint64_t>(trial);
+        const auto result = anneal(initial, eval,
+                                   Goal::MinimizeTotalTime,
+                                   std::nullopt, opts);
+        EXPECT_LE(result.total_time, initial_total + 1e-9);
+    }
+}
+
+TEST(Annealer, QosConstraintHonored)
+{
+    // Instance 0 is sensitive; QoS demands it stays under 1.25. The
+    // only feasible structure pairs it exclusively with instance 2
+    // (score 1): 1 + 0.05 * 4 = 1.20 <= 1.25; any unit swapped for a
+    // score-4 or score-8 partner violates.
+    const FakeEvaluator eval({1.0, 4.0, 1.0, 8.0},
+                             {0.05, 0.01, 0.0, 0.01});
+    Rng rng(33);
+    auto initial = Placement::random(
+        four_instances(), sim::ClusterSpec::private8(), rng);
+    AnnealOptions opts;
+    opts.iterations = 4000;
+    opts.seed = 3;
+    QosConstraint qos{0, 1.25};
+    const auto result = anneal(initial, eval,
+                               Goal::MinimizeTotalTime, qos, opts);
+    ASSERT_TRUE(result.qos_met);
+    const auto times = eval.predict(result.placement);
+    EXPECT_LE(times[0], 1.25 + 1e-9);
+}
+
+TEST(Annealer, DeterministicGivenSeed)
+{
+    const FakeEvaluator eval({2.0, 3.0, 1.0, 5.0},
+                             {0.05, 0.04, 0.01, 0.03});
+    Rng rng(8);
+    auto initial = Placement::random(
+        four_instances(), sim::ClusterSpec::private8(), rng);
+    AnnealOptions opts;
+    opts.iterations = 300;
+    opts.seed = 77;
+    const auto a = anneal(initial, eval, Goal::MinimizeTotalTime,
+                          std::nullopt, opts);
+    const auto b = anneal(initial, eval, Goal::MinimizeTotalTime,
+                          std::nullopt, opts);
+    EXPECT_EQ(a.placement.to_string(), b.placement.to_string());
+    EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+}
+
+TEST(Annealer, ValidatesInputs)
+{
+    const FakeEvaluator eval({1, 1, 1, 1}, {0, 0, 0, 0});
+    Placement unassigned(four_instances(), 8, 2);
+    AnnealOptions opts;
+    EXPECT_THROW(anneal(unassigned, eval, Goal::MinimizeTotalTime,
+                        std::nullopt, opts),
+                 ConfigError);
+
+    Rng rng(1);
+    auto initial = Placement::random(
+        four_instances(), sim::ClusterSpec::private8(), rng);
+    AnnealOptions bad = opts;
+    bad.iterations = 0;
+    EXPECT_THROW(anneal(initial, eval, Goal::MinimizeTotalTime,
+                        std::nullopt, bad),
+                 ConfigError);
+    QosConstraint out_of_range{9, 1.25};
+    EXPECT_THROW(anneal(initial, eval, Goal::MinimizeTotalTime,
+                        out_of_range, opts),
+                 ConfigError);
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit tests of the command-line option parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+
+using namespace imc;
+
+namespace {
+
+Cli
+make_cli(std::initializer_list<const char*> args)
+{
+    std::vector<const char*> argv{"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+} // namespace
+
+TEST(Cli, FlagWithValue)
+{
+    const Cli cli = make_cli({"--seed", "99"});
+    EXPECT_TRUE(cli.has("seed"));
+    EXPECT_EQ(cli.get_u64("seed", 1), 99u);
+}
+
+TEST(Cli, MissingFlagUsesDefault)
+{
+    const Cli cli = make_cli({});
+    EXPECT_FALSE(cli.has("seed"));
+    EXPECT_EQ(cli.get_u64("seed", 42), 42u);
+    EXPECT_EQ(cli.get_int("reps", 3), 3);
+    EXPECT_DOUBLE_EQ(cli.get_double("eps", 0.05), 0.05);
+    EXPECT_EQ(cli.get("name", "x"), "x");
+}
+
+TEST(Cli, BareSwitch)
+{
+    const Cli cli = make_cli({"--csv", "--seed", "7"});
+    EXPECT_TRUE(cli.has("csv"));
+    EXPECT_EQ(cli.get_u64("seed", 1), 7u);
+}
+
+TEST(Cli, ListParsing)
+{
+    const Cli cli = make_cli({"--apps", "a,b,c"});
+    EXPECT_EQ(cli.get_list("apps"),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_TRUE(cli.get_list("missing").empty());
+}
+
+TEST(Cli, IntAndDoubleParsing)
+{
+    const Cli cli = make_cli({"--reps", "5", "--eps", "0.25"});
+    EXPECT_EQ(cli.get_int("reps", 1), 5);
+    EXPECT_DOUBLE_EQ(cli.get_double("eps", 0.0), 0.25);
+}

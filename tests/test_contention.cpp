@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit and property tests of the node contention model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/contention.hpp"
+
+using namespace imc::sim;
+
+namespace {
+
+NodeResources
+node()
+{
+    NodeResources r;
+    r.llc_mb = 20.0;
+    r.bw_gbps = 30.0;
+    r.share_alpha = 0.75;
+    return r;
+}
+
+TenantDemand
+tenant(double gen, double need, double bw, double mu,
+       double gamma = 1.0)
+{
+    TenantDemand t;
+    t.gen_mb = gen;
+    t.need_mb = need;
+    t.bw_gbps = bw;
+    t.mem_intensity = mu;
+    t.cache_gamma = gamma;
+    return t;
+}
+
+} // namespace
+
+TEST(Contention, EmptyNodeYieldsNothing)
+{
+    EXPECT_TRUE(solve_contention(node(), {}).empty());
+}
+
+TEST(Contention, SoloTenantGetsWholeCache)
+{
+    const auto r = solve_contention(node(), {tenant(8, 8, 5, 0.5)});
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_NEAR(r[0].cache_share_mb, 20.0, 0.1);
+}
+
+TEST(Contention, ZeroIntensityTenantNeverSlows)
+{
+    // mu = 0: no memory stalls, so contention cannot slow it down.
+    const auto r = solve_contention(
+        node(), {tenant(8, 8, 5, 0.0), tenant(30, 30, 25, 0.9)});
+    EXPECT_DOUBLE_EQ(r[0].slowdown, 1.0);
+}
+
+TEST(Contention, CoRunnerShrinksCacheShare)
+{
+    const auto solo = solve_contention(node(), {tenant(8, 8, 5, 0.5)});
+    const auto pair = solve_contention(
+        node(), {tenant(8, 8, 5, 0.5), tenant(8, 8, 5, 0.5)});
+    EXPECT_LT(pair[0].cache_share_mb, solo[0].cache_share_mb);
+    EXPECT_NEAR(pair[0].cache_share_mb, 10.0, 0.1); // equal split
+}
+
+TEST(Contention, SlowdownIncreasesWithCoRunnerAggressiveness)
+{
+    const TenantDemand victim = tenant(6, 10, 5, 0.6);
+    double prev = 1.0;
+    for (double aggressor_gen : {4.0, 10.0, 20.0, 40.0}) {
+        const auto r = solve_contention(
+            node(),
+            {victim, tenant(aggressor_gen, aggressor_gen, 10, 0.8)});
+        EXPECT_GT(r[0].slowdown, prev - 1e-12);
+        prev = r[0].slowdown;
+    }
+    EXPECT_GT(prev, 1.05); // a 2x-LLC aggressor must hurt noticeably
+}
+
+TEST(Contention, BandwidthSaturationSlowsEveryone)
+{
+    // Two streaming tenants with tiny footprints but huge traffic.
+    const auto r = solve_contention(
+        node(), {tenant(2, 2, 25, 0.8), tenant(2, 2, 25, 0.8)});
+    // 50 GB/s demanded of 30: every memory access stretches ~1.67x.
+    EXPECT_GT(r[0].slowdown, 1.3);
+    EXPECT_DOUBLE_EQ(r[0].slowdown, r[1].slowdown);
+}
+
+TEST(Contention, MissInflationReportedAboveOneOverKnee)
+{
+    const auto r = solve_contention(
+        node(), {tenant(8, 18, 5, 0.5), tenant(30, 30, 5, 0.5)});
+    EXPECT_GT(r[0].miss_inflation, 1.3);
+}
+
+TEST(Contention, HigherGammaHurtsMore)
+{
+    const TenantDemand aggressor = tenant(30, 30, 10, 0.8);
+    const auto soft = solve_contention(
+        node(), {tenant(6, 12, 5, 0.6, 0.5), aggressor});
+    const auto steep = solve_contention(
+        node(), {tenant(6, 12, 5, 0.6, 2.0), aggressor});
+    EXPECT_GT(steep[0].slowdown, soft[0].slowdown);
+}
+
+TEST(Contention, ResultsDeterministic)
+{
+    const std::vector<TenantDemand> ts{tenant(8, 10, 6, 0.5),
+                                       tenant(12, 12, 9, 0.7)};
+    const auto a = solve_contention(node(), ts);
+    const auto b = solve_contention(node(), ts);
+    for (std::size_t i = 0; i < ts.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i].slowdown, b[i].slowdown);
+}
+
+TEST(Contention, RejectsBadInput)
+{
+    EXPECT_THROW(solve_contention(NodeResources{0.0, 30.0, 0.75},
+                                  {tenant(1, 1, 1, 0.5)}),
+                 imc::ConfigError);
+    EXPECT_THROW(
+        solve_contention(node(), {tenant(-1, 1, 1, 0.5)}),
+        imc::ConfigError);
+    TenantDemand bad_mu = tenant(1, 1, 1, 1.5);
+    EXPECT_THROW(solve_contention(node(), {bad_mu}),
+                 imc::ConfigError);
+}
+
+TEST(Contention, SoloSlowdownHelperMatchesSolve)
+{
+    const TenantDemand t = tenant(8, 10, 6, 0.5);
+    EXPECT_DOUBLE_EQ(solo_slowdown(node(), t),
+                     solve_contention(node(), {t})[0].slowdown);
+}
+
+// Property sweep: slowdown is always >= the no-stall floor and is
+// monotone in the tenant's own memory intensity.
+class ContentionMuSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ContentionMuSweep, MonotoneInMemIntensity)
+{
+    const double mu = GetParam();
+    const TenantDemand aggressor = tenant(25, 25, 20, 0.85);
+    const auto lo =
+        solve_contention(node(), {tenant(6, 10, 5, mu), aggressor});
+    const auto hi = solve_contention(
+        node(), {tenant(6, 10, 5, std::min(1.0, mu + 0.2)), aggressor});
+    EXPECT_GE(lo[0].slowdown, 1.0 - 1e-12);
+    EXPECT_LE(lo[0].slowdown, hi[0].slowdown + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mus, ContentionMuSweep,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.6, 0.8));

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests of the synchronization primitives (barrier, task pool).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/coordination.hpp"
+
+using namespace imc::sim;
+
+namespace {
+
+Simulation
+make_sim()
+{
+    ClusterSpec spec = ClusterSpec::private8();
+    spec.num_nodes = 1;
+    return Simulation(spec);
+}
+
+} // namespace
+
+TEST(Barrier, ReleasesOnlyWhenAllArrive)
+{
+    auto sim = make_sim();
+    Barrier barrier(sim, 3, 0.0);
+    int released = 0;
+    barrier.arrive([&] { ++released; });
+    barrier.arrive([&] { ++released; });
+    sim.run();
+    EXPECT_EQ(released, 0); // still one participant missing
+    barrier.arrive([&] { ++released; });
+    sim.run();
+    EXPECT_EQ(released, 3);
+    EXPECT_EQ(barrier.cycles(), 1);
+}
+
+TEST(Barrier, CollectiveCostDelaysRelease)
+{
+    auto sim = make_sim();
+    Barrier barrier(sim, 2, 0.5);
+    double released_at = -1.0;
+    sim.schedule(1.0, [&] {
+        barrier.arrive([&] { released_at = sim.now(); });
+        barrier.arrive([] {});
+    });
+    sim.run();
+    EXPECT_DOUBLE_EQ(released_at, 1.5);
+}
+
+TEST(Barrier, ReusableAcrossCycles)
+{
+    auto sim = make_sim();
+    Barrier barrier(sim, 2, 0.0);
+    int releases = 0;
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        barrier.arrive([&] { ++releases; });
+        barrier.arrive([&] { ++releases; });
+        sim.run();
+    }
+    EXPECT_EQ(releases, 6);
+    EXPECT_EQ(barrier.cycles(), 3);
+}
+
+TEST(Barrier, SingleParticipantPassesThrough)
+{
+    auto sim = make_sim();
+    Barrier barrier(sim, 1, 0.0);
+    bool released = false;
+    barrier.arrive([&] { released = true; });
+    sim.run();
+    EXPECT_TRUE(released);
+}
+
+TEST(Barrier, RejectsBadConfig)
+{
+    auto sim = make_sim();
+    EXPECT_THROW(Barrier(sim, 0, 0.0), imc::ConfigError);
+    EXPECT_THROW(Barrier(sim, 2, -1.0), imc::ConfigError);
+}
+
+TEST(TaskPool, DrainsAllTasksExactlyOnce)
+{
+    auto sim = make_sim();
+    TaskPool pool(sim, {{1.0, 2.0, 3.0}}, 0.0);
+    double total = 0.0;
+    int grants = 0;
+    std::function<void()> worker = [&] {
+        pool.request([&](TaskPool::Grant g) {
+            if (g.finished)
+                return;
+            ++grants;
+            total += g.work;
+            pool.complete_task();
+            worker();
+        });
+    };
+    worker();
+    sim.run();
+    EXPECT_EQ(grants, 3);
+    EXPECT_DOUBLE_EQ(total, 6.0);
+    EXPECT_TRUE(pool.finished());
+}
+
+TEST(TaskPool, StageAdvancesOnlyWhenDrained)
+{
+    auto sim = make_sim();
+    TaskPool pool(sim, {{1.0, 1.0}, {2.0}}, 0.0);
+    EXPECT_EQ(pool.current_stage(), 0u);
+    std::vector<double> seen;
+    std::function<void()> worker = [&] {
+        pool.request([&](TaskPool::Grant g) {
+            if (g.finished)
+                return;
+            seen.push_back(g.work);
+            pool.complete_task();
+            worker();
+        });
+    };
+    worker();
+    sim.run();
+    EXPECT_EQ(seen, (std::vector<double>{1.0, 1.0, 2.0}));
+    EXPECT_TRUE(pool.finished());
+}
+
+TEST(TaskPool, ShuffleCostSeparatesStages)
+{
+    auto sim = make_sim();
+    TaskPool pool(sim, {{1.0}, {1.0}}, 2.5);
+    double second_granted_at = -1.0;
+    std::function<void()> worker = [&] {
+        pool.request([&](TaskPool::Grant g) {
+            if (g.finished)
+                return;
+            if (pool.current_stage() == 1)
+                second_granted_at = sim.now();
+            pool.complete_task();
+            worker();
+        });
+    };
+    worker();
+    sim.run();
+    EXPECT_DOUBLE_EQ(second_granted_at, 2.5);
+}
+
+TEST(TaskPool, ParkedWorkersWakeAtNextStage)
+{
+    auto sim = make_sim();
+    TaskPool pool(sim, {{1.0}, {1.0, 1.0}}, 0.0);
+    int finished_workers = 0;
+    int tasks_done = 0;
+    // Two workers race for one first-stage task; the loser parks and
+    // must wake when stage 2 opens.
+    std::function<void()> worker = [&] {
+        pool.request([&](TaskPool::Grant g) {
+            if (g.finished) {
+                ++finished_workers;
+                return;
+            }
+            ++tasks_done;
+            pool.complete_task();
+            worker();
+        });
+    };
+    worker();
+    worker();
+    sim.run();
+    EXPECT_EQ(tasks_done, 3);
+    EXPECT_EQ(finished_workers, 2);
+}
+
+TEST(TaskPool, EmptyStageListIsImmediatelyFinished)
+{
+    auto sim = make_sim();
+    TaskPool pool(sim, {}, 0.0);
+    EXPECT_TRUE(pool.finished());
+    bool got_finished = false;
+    pool.request([&](TaskPool::Grant g) { got_finished = g.finished; });
+    sim.run();
+    EXPECT_TRUE(got_finished);
+}
+
+TEST(TaskPool, RejectsBadConfig)
+{
+    auto sim = make_sim();
+    EXPECT_THROW(TaskPool(sim, {{}}, 0.0), imc::ConfigError);
+    EXPECT_THROW(TaskPool(sim, {{-1.0}}, 0.0), imc::ConfigError);
+    EXPECT_THROW(TaskPool(sim, {{1.0}}, -0.5), imc::ConfigError);
+}
+
+TEST(TaskPool, CompletionWithoutGrantThrows)
+{
+    auto sim = make_sim();
+    TaskPool pool(sim, {{1.0}}, 0.0);
+    EXPECT_THROW(pool.complete_task(), imc::LogicBug);
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests of the exact signature enumerator, including agreement with
+ * the annealing search on small cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "placement/annealer.hpp"
+#include "placement/enumerate.hpp"
+#include "workload/catalog.hpp"
+
+using namespace imc;
+using namespace imc::placement;
+using namespace imc::workload;
+
+namespace {
+
+/** Same synthetic evaluator family as the annealer tests. */
+class FakeEvaluator : public Evaluator {
+  public:
+    FakeEvaluator(std::vector<double> scores,
+                  std::vector<double> sensitivity)
+        : scores_(std::move(scores)),
+          sensitivity_(std::move(sensitivity))
+    {
+    }
+
+    std::vector<double>
+    predict(const Placement& placement) const override
+    {
+        const auto lists = placement.pressure_lists(scores_);
+        std::vector<double> out;
+        for (std::size_t i = 0; i < lists.size(); ++i) {
+            double sum = 0.0;
+            for (double p : lists[i])
+                sum += p;
+            out.push_back(1.0 + sensitivity_[i] * sum);
+        }
+        return out;
+    }
+
+  private:
+    std::vector<double> scores_;
+    std::vector<double> sensitivity_;
+};
+
+std::vector<Instance>
+four_instances()
+{
+    return {
+        Instance{find_app("M.milc"), 4},
+        Instance{find_app("M.Gems"), 4},
+        Instance{find_app("H.KM"), 4},
+        Instance{find_app("C.libq"), 4},
+    };
+}
+
+} // namespace
+
+TEST(Enumerate, FindsExtremesOnFourByFour)
+{
+    const FakeEvaluator eval({1.0, 1.0, 1.0, 8.0},
+                             {0.10, 0.02, 0.0, 0.02});
+    const auto result = enumerate_extremes(
+        four_instances(), sim::ClusterSpec::private8(), eval);
+    EXPECT_GT(result.signatures, 1);
+    EXPECT_TRUE(result.best.valid());
+    EXPECT_TRUE(result.worst.valid());
+    EXPECT_LT(result.best_total, result.worst_total);
+
+    // Optimum keeps the aggressor (3) away from the sensitive (0).
+    for (sim::NodeId node : result.best.nodes_of(0)) {
+        for (int other : result.best.co_tenants(0, node))
+            EXPECT_NE(other, 3);
+    }
+    // Pessimum pairs them fully.
+    int together = 0;
+    for (sim::NodeId node : result.worst.nodes_of(0)) {
+        for (int other : result.worst.co_tenants(0, node))
+            together += other == 3;
+    }
+    EXPECT_EQ(together, 4);
+}
+
+TEST(Enumerate, SignatureCountMatchesCombinatorics)
+{
+    // Degree-4 multigraphs on 4 labelled vertices with 8 edges and no
+    // loops: with x01=a, x02=b, x03=c the degree equations force
+    // x23=a, x13=b, x12=c and a+b+c=4, so there are C(6,2) = 15
+    // signatures — pinned as a regression anchor.
+    const FakeEvaluator eval({1, 1, 1, 1}, {0.01, 0.01, 0.01, 0.01});
+    const auto result = enumerate_extremes(
+        four_instances(), sim::ClusterSpec::private8(), eval);
+    EXPECT_EQ(result.signatures, 15);
+}
+
+TEST(Enumerate, AnnealerMatchesExhaustiveOptimum)
+{
+    const FakeEvaluator eval({2.0, 5.0, 0.5, 7.0},
+                             {0.06, 0.02, 0.005, 0.015});
+    const auto exact = enumerate_extremes(
+        four_instances(), sim::ClusterSpec::private8(), eval);
+
+    Rng rng(12);
+    auto initial = Placement::random(
+        four_instances(), sim::ClusterSpec::private8(), rng);
+    AnnealOptions opts;
+    opts.iterations = 6000;
+    opts.seed = 4;
+    const auto sa = anneal(initial, eval, Goal::MinimizeTotalTime,
+                           std::nullopt, opts);
+    EXPECT_NEAR(sa.total_time, exact.best_total, 1e-9)
+        << "SA failed to reach the exhaustive optimum";
+
+    const auto worst = anneal(initial, eval, Goal::MaximizeTotalTime,
+                              std::nullopt, opts);
+    EXPECT_NEAR(worst.total_time, exact.worst_total, 1e-9);
+}
+
+TEST(Enumerate, RequiresFullTwoSlotOccupancy)
+{
+    const FakeEvaluator eval({1, 1, 1}, {0.01, 0.01, 0.01});
+    // 3 instances x 4 units = 12 != 16 slots.
+    std::vector<Instance> three{Instance{find_app("M.milc"), 4},
+                                Instance{find_app("M.Gems"), 4},
+                                Instance{find_app("H.KM"), 4}};
+    EXPECT_THROW(enumerate_extremes(
+                     three, sim::ClusterSpec::private8(), eval),
+                 ConfigError);
+}
+
+TEST(Enumerate, TwoInstancesHaveOneSignature)
+{
+    // Two 4-unit instances on a 4-node cluster: the only pairing is
+    // full overlap.
+    sim::ClusterSpec cluster = sim::ClusterSpec::private8();
+    cluster.num_nodes = 4;
+    const FakeEvaluator eval({2.0, 3.0}, {0.02, 0.02});
+    std::vector<Instance> two{Instance{find_app("M.milc"), 4},
+                              Instance{find_app("C.libq"), 4}};
+    const auto result = enumerate_extremes(two, cluster, eval);
+    EXPECT_EQ(result.signatures, 1);
+    EXPECT_DOUBLE_EQ(result.best_total, result.worst_total);
+}

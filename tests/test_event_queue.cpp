@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests of the cancellable event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/event_queue.hpp"
+
+using namespace imc::sim;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule_at(2.0, [&] { order.push_back(2); });
+    q.schedule_at(1.0, [&] { order.push_back(1); });
+    q.schedule_at(3.0, [&] { order.push_back(3); });
+    while (q.pop_and_run()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+    while (q.pop_and_run()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    const EventId id = q.schedule_at(1.0, [&] { ran = true; });
+    q.cancel(id);
+    while (q.pop_and_run()) {
+    }
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(q.executed(), 0u);
+}
+
+TEST(EventQueue, CancelIsIdempotent)
+{
+    EventQueue q;
+    const EventId id = q.schedule_at(1.0, [] {});
+    q.cancel(id);
+    q.cancel(id); // no-op
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SizeTracksLiveEvents)
+{
+    EventQueue q;
+    const EventId a = q.schedule_at(1.0, [] {});
+    q.schedule_at(2.0, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 1u);
+    q.pop_and_run();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule_at(1.0, [&] {
+        ++fired;
+        q.schedule_at(2.0, [&] { ++fired; });
+    });
+    while (q.pop_and_run()) {
+    }
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, SchedulingIntoThePastThrows)
+{
+    EventQueue q;
+    q.schedule_at(5.0, [] {});
+    q.pop_and_run();
+    EXPECT_THROW(q.schedule_at(4.0, [] {}), imc::ConfigError);
+}
+
+TEST(EventQueue, NullCallbackRejected)
+{
+    EventQueue q;
+    EXPECT_THROW(q.schedule_at(1.0, Callback{}), imc::ConfigError);
+}
+
+TEST(EventQueue, PopOnEmptyReturnsFalse)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.pop_and_run());
+}
+
+TEST(EventQueue, ExecutedCountsOnlyRealRuns)
+{
+    EventQueue q;
+    q.schedule_at(1.0, [] {});
+    const EventId id = q.schedule_at(2.0, [] {});
+    q.cancel(id);
+    while (q.pop_and_run()) {
+    }
+    EXPECT_EQ(q.executed(), 1u);
+}

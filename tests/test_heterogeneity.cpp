@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests of the heterogeneity mapping policies and policy
+ * selection (Section 3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/heterogeneity.hpp"
+
+using namespace imc;
+using namespace imc::core;
+
+TEST(HeteroPolicy, PaperFigure5Examples)
+{
+    // Workload A (N+1 max): [3,2,1,1] -> [3,3,0,0].
+    const auto a = convert(HeteroPolicy::NPlus1Max, {3, 2, 1, 1});
+    EXPECT_DOUBLE_EQ(a.pressure, 3.0);
+    EXPECT_DOUBLE_EQ(a.nodes, 2.0);
+
+    // Workload B (all max): [5,2,2,1] -> [5,5,5,5].
+    const auto b = convert(HeteroPolicy::AllMax, {5, 2, 2, 1});
+    EXPECT_DOUBLE_EQ(b.pressure, 5.0);
+    EXPECT_DOUBLE_EQ(b.nodes, 4.0);
+
+    // Workload C (interpolate): [3,5,3,1] -> [3,3,3,3].
+    const auto c = convert(HeteroPolicy::Interpolate, {3, 5, 3, 1});
+    EXPECT_DOUBLE_EQ(c.pressure, 3.0);
+    EXPECT_DOUBLE_EQ(c.nodes, 4.0);
+
+    // Workload D (N max): [5,5,3,2] -> [5,5,0,0].
+    const auto d = convert(HeteroPolicy::NMax, {5, 5, 3, 2});
+    EXPECT_DOUBLE_EQ(d.pressure, 5.0);
+    EXPECT_DOUBLE_EQ(d.nodes, 2.0);
+}
+
+TEST(HeteroPolicy, SectionThreeThreeExample)
+{
+    // "Four interfering nodes, two at the same high pressure, two
+    // lower": N max keeps 2, N+1 max keeps 3.
+    const std::vector<double> pressures{6, 6, 2, 3};
+    EXPECT_DOUBLE_EQ(convert(HeteroPolicy::NMax, pressures).nodes, 2.0);
+    EXPECT_DOUBLE_EQ(convert(HeteroPolicy::NPlus1Max, pressures).nodes,
+                     3.0);
+}
+
+TEST(HeteroPolicy, AllZeroPressuresMapToNothing)
+{
+    for (const auto policy : all_policies()) {
+        const auto h = convert(policy, {0, 0, 0});
+        EXPECT_DOUBLE_EQ(h.pressure, 0.0);
+        EXPECT_DOUBLE_EQ(h.nodes, 0.0);
+    }
+}
+
+TEST(HeteroPolicy, HomogeneousInputIsFixedPointForMaxPolicies)
+{
+    const std::vector<double> pressures{4, 4, 4};
+    for (const auto policy :
+         {HeteroPolicy::NMax, HeteroPolicy::NPlus1Max,
+          HeteroPolicy::AllMax, HeteroPolicy::Interpolate}) {
+        const auto h = convert(policy, pressures);
+        EXPECT_DOUBLE_EQ(h.pressure, 4.0) << to_string(policy);
+        EXPECT_DOUBLE_EQ(h.nodes, 3.0) << to_string(policy);
+    }
+}
+
+TEST(HeteroPolicy, NPlus1WithoutLowerNodesAddsNothing)
+{
+    // All interfering nodes are already at the top pressure: no extra.
+    const auto h = convert(HeteroPolicy::NPlus1Max, {5, 5, 0, 0});
+    EXPECT_DOUBLE_EQ(h.nodes, 2.0);
+}
+
+TEST(HeteroPolicy, InterpolateAveragesOverAllNodesIncludingClean)
+{
+    const auto h = convert(HeteroPolicy::Interpolate, {8, 0, 0, 0});
+    EXPECT_DOUBLE_EQ(h.pressure, 2.0);
+    EXPECT_DOUBLE_EQ(h.nodes, 4.0);
+}
+
+TEST(HeteroPolicy, TopToleranceGroupsNearMaxima)
+{
+    // 4.9 is within 0.25 of 5.0: counts as a top node.
+    const auto h = convert(HeteroPolicy::NMax, {5.0, 4.9, 1.0});
+    EXPECT_DOUBLE_EQ(h.nodes, 2.0);
+}
+
+TEST(HeteroPolicy, RejectsBadInput)
+{
+    EXPECT_THROW(convert(HeteroPolicy::NMax, {}), ConfigError);
+    EXPECT_THROW(convert(HeteroPolicy::NMax, {-1.0}), ConfigError);
+}
+
+TEST(HeteroPolicy, NamesMatchPaper)
+{
+    EXPECT_EQ(to_string(HeteroPolicy::NMax), "N MAX");
+    EXPECT_EQ(to_string(HeteroPolicy::NPlus1Max), "N+1 MAX");
+    EXPECT_EQ(to_string(HeteroPolicy::AllMax), "ALL MAX");
+    EXPECT_EQ(to_string(HeteroPolicy::Interpolate), "INTERPOLATE");
+}
+
+TEST(HeteroPolicy, SampleHeterogeneousWithinBoundsAndNonZero)
+{
+    Rng rng(9);
+    const std::vector<double> grid{0.5, 1, 2, 3, 4, 5, 6, 7, 8};
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto p = sample_heterogeneous(8, grid, rng);
+        ASSERT_EQ(p.size(), 8u);
+        bool any = false;
+        for (double v : p) {
+            ASSERT_GE(v, 0.0);
+            ASSERT_LE(v, 8.0);
+            // every value is 0 or a grid point
+            ASSERT_TRUE(v == 0.0 ||
+                        std::find(grid.begin(), grid.end(), v) !=
+                            grid.end());
+            any = any || v > 0.0;
+        }
+        EXPECT_TRUE(any);
+    }
+}
+
+TEST(HeteroPolicy, EvaluatePoliciesPicksTheGenerativePolicy)
+{
+    // Ground truth behaves exactly like ALL MAX on a known matrix:
+    // the selection must find ALL MAX with ~zero error.
+    const SensitivityMatrix matrix({
+        {1.0, 1.10, 1.12, 1.13, 1.14},
+        {1.0, 1.30, 1.33, 1.35, 1.36},
+        {1.0, 1.60, 1.65, 1.68, 1.70},
+    });
+    const HeteroMeasureFn truth =
+        [&](const std::vector<double>& pressures) {
+            const auto h = convert(HeteroPolicy::AllMax, pressures);
+            return matrix.lookup(h.pressure, h.nodes);
+        };
+    const auto fits = evaluate_policies(matrix, truth, 4, 40, Rng(3));
+    ASSERT_EQ(fits.size(), 4u);
+    const auto best = best_policy(fits);
+    EXPECT_EQ(best.policy, HeteroPolicy::AllMax);
+    EXPECT_NEAR(best.avg_error_pct, 0.0, 1e-9);
+    // And the other policies must do worse.
+    for (const auto& fit : fits) {
+        if (fit.policy != HeteroPolicy::AllMax) {
+            EXPECT_GT(fit.avg_error_pct, best.avg_error_pct);
+        }
+    }
+}
+
+TEST(HeteroPolicy, EvaluatePoliciesReportsSpreadStatistics)
+{
+    const SensitivityMatrix matrix({{1.0, 1.5, 1.8}});
+    const HeteroMeasureFn noisy =
+        [](const std::vector<double>&) { return 1.4; };
+    const auto fits = evaluate_policies(matrix, noisy, 2, 25, Rng(8));
+    for (const auto& fit : fits) {
+        EXPECT_GE(fit.max_error_pct, fit.avg_error_pct);
+        EXPECT_LE(fit.min_error_pct, fit.avg_error_pct);
+        EXPECT_GE(fit.stddev_pct, 0.0);
+    }
+}
+
+TEST(HeteroPolicy, BestPolicyOfEmptyThrows)
+{
+    EXPECT_THROW(best_policy({}), ConfigError);
+}

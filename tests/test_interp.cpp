@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests of the interpolation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/interp.hpp"
+
+using namespace imc;
+
+TEST(LinearInterpolator, ExactAtSamples)
+{
+    LinearInterpolator f({0.0, 1.0, 2.0}, {10.0, 20.0, 40.0});
+    EXPECT_DOUBLE_EQ(f(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(f(1.0), 20.0);
+    EXPECT_DOUBLE_EQ(f(2.0), 40.0);
+}
+
+TEST(LinearInterpolator, InterpolatesBetweenSamples)
+{
+    LinearInterpolator f({0.0, 1.0, 2.0}, {10.0, 20.0, 40.0});
+    EXPECT_DOUBLE_EQ(f(0.5), 15.0);
+    EXPECT_DOUBLE_EQ(f(1.5), 30.0);
+}
+
+TEST(LinearInterpolator, ClampsOutsideRange)
+{
+    LinearInterpolator f({1.0, 2.0}, {5.0, 7.0});
+    EXPECT_DOUBLE_EQ(f(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(f(3.0), 7.0);
+}
+
+TEST(LinearInterpolator, SingleSampleIsConstant)
+{
+    LinearInterpolator f({1.0}, {9.0});
+    EXPECT_DOUBLE_EQ(f(-5.0), 9.0);
+    EXPECT_DOUBLE_EQ(f(1.0), 9.0);
+    EXPECT_DOUBLE_EQ(f(5.0), 9.0);
+}
+
+TEST(LinearInterpolator, RejectsBadInput)
+{
+    EXPECT_THROW(LinearInterpolator({}, {}), ConfigError);
+    EXPECT_THROW(LinearInterpolator({1.0, 1.0}, {1.0, 2.0}),
+                 ConfigError);
+    EXPECT_THROW(LinearInterpolator({2.0, 1.0}, {1.0, 2.0}),
+                 ConfigError);
+    EXPECT_THROW(LinearInterpolator({1.0}, {1.0, 2.0}), ConfigError);
+}
+
+TEST(Lerp, Basics)
+{
+    EXPECT_DOUBLE_EQ(lerp(0.0, 0.0, 1.0, 10.0, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(lerp(0.0, 0.0, 1.0, 10.0, 2.0), 20.0); // extrapolates
+}
+
+TEST(InterpolateHoles, FillsMiddle)
+{
+    std::vector<double> row{1.0, -1.0, -1.0, 4.0};
+    interpolate_holes(row, -1.0);
+    EXPECT_DOUBLE_EQ(row[1], 2.0);
+    EXPECT_DOUBLE_EQ(row[2], 3.0);
+}
+
+TEST(InterpolateHoles, MultipleSegments)
+{
+    std::vector<double> row{0.0, -1.0, 2.0, -1.0, -1.0, 8.0};
+    interpolate_holes(row, -1.0);
+    EXPECT_DOUBLE_EQ(row[1], 1.0);
+    EXPECT_DOUBLE_EQ(row[3], 4.0);
+    EXPECT_DOUBLE_EQ(row[4], 6.0);
+}
+
+TEST(InterpolateHoles, NoHolesIsNoop)
+{
+    std::vector<double> row{1.0, 2.0, 3.0};
+    interpolate_holes(row, -1.0);
+    EXPECT_EQ(row, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(InterpolateHoles, RejectsUnmeasuredEndpoints)
+{
+    std::vector<double> bad_front{-1.0, 2.0};
+    EXPECT_THROW(interpolate_holes(bad_front, -1.0), ConfigError);
+    std::vector<double> bad_back{1.0, -1.0};
+    EXPECT_THROW(interpolate_holes(bad_back, -1.0), ConfigError);
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests of the combined interference model and the naive
+ * proportional baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/model.hpp"
+
+using namespace imc;
+using namespace imc::core;
+
+namespace {
+
+SensitivityMatrix
+matrix4()
+{
+    // 3 pressure levels, 4 hosts; high-propagation shape.
+    return SensitivityMatrix({
+        {1.0, 1.08, 1.09, 1.10, 1.11},
+        {1.0, 1.30, 1.33, 1.36, 1.38},
+        {1.0, 1.70, 1.76, 1.82, 1.90},
+    });
+}
+
+} // namespace
+
+TEST(InterferenceModel, AccessorsRoundTrip)
+{
+    const InterferenceModel m("M.test", matrix4(),
+                              HeteroPolicy::NPlus1Max, 3.2);
+    EXPECT_EQ(m.app(), "M.test");
+    EXPECT_EQ(m.policy(), HeteroPolicy::NPlus1Max);
+    EXPECT_DOUBLE_EQ(m.bubble_score(), 3.2);
+    EXPECT_EQ(m.matrix().hosts(), 4);
+}
+
+TEST(InterferenceModel, CleanPlacementPredictsUnity)
+{
+    const InterferenceModel m("x", matrix4(), HeteroPolicy::NMax, 1.0);
+    EXPECT_DOUBLE_EQ(m.predict({0, 0, 0, 0}), 1.0);
+}
+
+TEST(InterferenceModel, PredictionUsesPolicyConversion)
+{
+    // [3,1,0,0] under N MAX -> 1 node at pressure 3 -> T[3][1].
+    const InterferenceModel nmax("x", matrix4(), HeteroPolicy::NMax,
+                                 1.0);
+    EXPECT_DOUBLE_EQ(nmax.predict({3, 1, 0, 0}), 1.70);
+
+    // Same list under N+1 MAX -> 2 nodes at pressure 3 -> T[3][2].
+    const InterferenceModel nplus("x", matrix4(),
+                                  HeteroPolicy::NPlus1Max, 1.0);
+    EXPECT_DOUBLE_EQ(nplus.predict({3, 1, 0, 0}), 1.76);
+
+    // ALL MAX -> 4 nodes at pressure 3 -> T[3][4].
+    const InterferenceModel allmax("x", matrix4(),
+                                   HeteroPolicy::AllMax, 1.0);
+    EXPECT_DOUBLE_EQ(allmax.predict({3, 1, 0, 0}), 1.90);
+
+    // INTERPOLATE -> 4 nodes at pressure 1 -> T[1][4].
+    const InterferenceModel interp("x", matrix4(),
+                                   HeteroPolicy::Interpolate, 1.0);
+    EXPECT_DOUBLE_EQ(interp.predict({3, 1, 0, 0}), 1.11);
+}
+
+TEST(InterferenceModel, FractionalScoresInterpolate)
+{
+    const InterferenceModel m("x", matrix4(), HeteroPolicy::NMax, 1.0);
+    const double mid = m.predict({2.5, 0, 0, 0});
+    EXPECT_GT(mid, m.predict({2.0, 0, 0, 0}));
+    EXPECT_LT(mid, m.predict({3.0, 0, 0, 0}));
+}
+
+TEST(InterferenceModel, MonotoneInAddedInterference)
+{
+    const InterferenceModel m("x", matrix4(),
+                              HeteroPolicy::NPlus1Max, 1.0);
+    EXPECT_LE(m.predict({2, 0, 0, 0}), m.predict({2, 2, 0, 0}));
+    EXPECT_LE(m.predict({2, 2, 0, 0}), m.predict({3, 2, 0, 0}));
+}
+
+TEST(InterferenceModel, NegativeScoreRejected)
+{
+    EXPECT_THROW(
+        InterferenceModel("x", matrix4(), HeteroPolicy::NMax, -1.0),
+        ConfigError);
+}
+
+TEST(NaiveModel, ProportionalInInterferedNodeCount)
+{
+    const auto m = matrix4();
+    // One of four nodes at pressure 3: 1 + (1/4)(1.90-1) = 1.225...
+    // but N+1 max conversion maps [3,0,0,0] to 1 node (no lower
+    // interfering nodes to merge).
+    const double one = predict_naive(m, {3, 0, 0, 0});
+    EXPECT_DOUBLE_EQ(one, 1.0 + 0.25 * 0.90);
+    const double two = predict_naive(m, {3, 3, 0, 0});
+    EXPECT_DOUBLE_EQ(two, 1.0 + 0.50 * 0.90);
+    const double all = predict_naive(m, {3, 3, 3, 3});
+    EXPECT_DOUBLE_EQ(all, 1.90); // converges to the measured point
+}
+
+TEST(NaiveModel, CleanIsUnity)
+{
+    EXPECT_DOUBLE_EQ(predict_naive(matrix4(), {0, 0, 0, 0}), 1.0);
+}
+
+TEST(NaiveModel, UnderestimatesHighPropagationAtOneNode)
+{
+    // The motivating observation (Fig. 2): for barrier-coupled apps
+    // the real T[p][1] is close to T[p][m], but the naive model only
+    // charges 1/m of it.
+    const auto m = matrix4();
+    const InterferenceModel full("x", m, HeteroPolicy::NPlus1Max, 1.0);
+    EXPECT_GT(full.predict({3, 0, 0, 0}),
+              predict_naive(m, {3, 0, 0, 0}) + 0.3);
+}

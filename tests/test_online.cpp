@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests of the online refinement extension (the paper's future-work
+ * direction): corrections learn from observations, stay bounded, and
+ * do not leak across pressure bands.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/online.hpp"
+
+using namespace imc;
+using namespace imc::core;
+
+namespace {
+
+InterferenceModel
+base_model()
+{
+    return InterferenceModel(
+        "M.test",
+        SensitivityMatrix({{1.0, 1.05, 1.08, 1.10, 1.12},
+                           {1.0, 1.30, 1.35, 1.38, 1.40},
+                           {1.0, 1.60, 1.70, 1.76, 1.80}},
+                          {1.0, 4.0, 8.0}),
+        HeteroPolicy::NPlus1Max, 2.0);
+}
+
+} // namespace
+
+TEST(OnlineRefiner, StartsEqualToStaticModel)
+{
+    const OnlineRefiner refiner(base_model());
+    const std::vector<double> pressures{6.0, 2.0, 0.0, 0.0};
+    EXPECT_DOUBLE_EQ(refiner.predict(pressures),
+                     refiner.predict_static(pressures));
+    EXPECT_EQ(refiner.observations(), 0);
+}
+
+TEST(OnlineRefiner, LearnsSystematicUnderprediction)
+{
+    OnlineRefiner refiner(base_model(), 0.5);
+    const std::vector<double> pressures{6.0, 6.0, 0.0, 0.0};
+    const double static_pred = refiner.predict_static(pressures);
+    // Reality is consistently 20% above the static model.
+    for (int i = 0; i < 20; ++i)
+        refiner.observe(pressures, static_pred * 1.2);
+    EXPECT_NEAR(refiner.predict(pressures), static_pred * 1.2,
+                static_pred * 0.02);
+}
+
+TEST(OnlineRefiner, LearnsOverpredictionToo)
+{
+    OnlineRefiner refiner(base_model(), 0.5);
+    const std::vector<double> pressures{6.0, 6.0, 6.0, 6.0};
+    const double static_pred = refiner.predict_static(pressures);
+    for (int i = 0; i < 20; ++i)
+        refiner.observe(pressures, static_pred * 0.8);
+    EXPECT_NEAR(refiner.predict(pressures), static_pred * 0.8,
+                static_pred * 0.02);
+}
+
+TEST(OnlineRefiner, BandsAreIndependent)
+{
+    OnlineRefiner refiner(base_model(), 0.5, 4);
+    const std::vector<double> heavy{8.0, 8.0, 8.0, 8.0};
+    const std::vector<double> light{1.0, 0.0, 0.0, 0.0};
+    const double light_before = refiner.predict(light);
+    for (int i = 0; i < 20; ++i)
+        refiner.observe(heavy, refiner.predict_static(heavy) * 1.5);
+    // Heavy-band learning must not move light-band predictions.
+    EXPECT_DOUBLE_EQ(refiner.predict(light), light_before);
+    EXPECT_GT(refiner.predict(heavy),
+              refiner.predict_static(heavy) * 1.3);
+}
+
+TEST(OnlineRefiner, CorrectionsAreClamped)
+{
+    OnlineRefiner refiner(base_model(), 1.0);
+    const std::vector<double> pressures{8.0, 8.0, 8.0, 8.0};
+    // A wild outlier: 100x the prediction.
+    refiner.observe(pressures,
+                    refiner.predict_static(pressures) * 100.0);
+    EXPECT_LE(refiner.correction_at(8.0), 2.0 + 1e-12);
+    refiner.observe(pressures,
+                    refiner.predict_static(pressures) * 0.001);
+    EXPECT_GE(refiner.correction_at(8.0), 0.5 * 0.5 - 1e-12);
+}
+
+TEST(OnlineRefiner, SoloObservationsIgnored)
+{
+    OnlineRefiner refiner(base_model(), 0.5);
+    const std::vector<double> clean{0.0, 0.0, 0.0, 0.0};
+    refiner.observe(clean, 5.0);
+    EXPECT_EQ(refiner.observations(), 0);
+    EXPECT_DOUBLE_EQ(refiner.predict(clean), 1.0);
+}
+
+TEST(OnlineRefiner, ValidatesArguments)
+{
+    EXPECT_THROW(OnlineRefiner(base_model(), 0.0), ConfigError);
+    EXPECT_THROW(OnlineRefiner(base_model(), 1.5), ConfigError);
+    EXPECT_THROW(OnlineRefiner(base_model(), 0.5, 0), ConfigError);
+    OnlineRefiner refiner(base_model());
+    EXPECT_THROW(refiner.observe({1.0}, 0.0), ConfigError);
+}
+
+TEST(OnlineRefiner, EwmaConvergesGeometrically)
+{
+    OnlineRefiner refiner(base_model(), 0.25);
+    const std::vector<double> pressures{4.0, 4.0, 0.0, 0.0};
+    const double target = 1.4;
+    const double base = refiner.predict_static(pressures);
+    double prev_gap = 1e9;
+    for (int i = 0; i < 10; ++i) {
+        refiner.observe(pressures, base * target);
+        const double gap =
+            std::abs(refiner.predict(pressures) / base - target);
+        EXPECT_LT(gap, prev_gap + 1e-12); // monotone approach
+        prev_gap = gap;
+    }
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit and property tests of the deterministic RNG layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+using namespace imc;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.next_u64() == b.next_u64();
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1'000; ++i) {
+        const double u = rng.uniform(-3.0, 5.5);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.5);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(11);
+    OnlineStats s;
+    for (int i = 0; i < 100'000; ++i)
+        s.add(rng.uniform());
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias)
+{
+    Rng rng(3);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 100'000; ++i)
+        ++counts[rng.uniform_index(10)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 10'000, 500);
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(5);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1'000; ++i) {
+        const auto v = rng.uniform_int(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u); // all five values hit
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(13);
+    OnlineStats s;
+    for (int i = 0; i < 200'000; ++i)
+        s.add(rng.normal(2.0, 3.0));
+    EXPECT_NEAR(s.mean(), 2.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalFactorUnitMedianAndPositive)
+{
+    Rng rng(17);
+    std::vector<double> xs;
+    for (int i = 0; i < 50'000; ++i) {
+        const double f = rng.lognormal_factor(0.3);
+        ASSERT_GT(f, 0.0);
+        xs.push_back(f);
+    }
+    EXPECT_NEAR(median(xs), 1.0, 0.02);
+}
+
+TEST(Rng, LognormalFactorZeroSigmaIsExactlyOne)
+{
+    Rng rng(19);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.lognormal_factor(0.0), 1.0);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(23);
+    int hits = 0;
+    for (int i = 0; i < 100'000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits, 30'000, 1'000);
+}
+
+TEST(Rng, ForkByNameIsIndependentOfParentConsumption)
+{
+    Rng parent(99);
+    Rng child1 = parent.fork("stream");
+    parent.next_u64();
+    parent.next_u64();
+    Rng child2 = parent.fork("stream");
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, ForksWithDifferentNamesDiffer)
+{
+    Rng parent(99);
+    Rng a = parent.fork("a");
+    Rng b = parent.fork("b");
+    EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkByIndexDiffers)
+{
+    Rng parent(99);
+    EXPECT_NE(parent.fork(std::uint64_t{0}).next_u64(),
+              parent.fork(std::uint64_t{1}).next_u64());
+}
+
+TEST(Rng, HashStringStable)
+{
+    EXPECT_EQ(hash_string("abc"), hash_string("abc"));
+    EXPECT_NE(hash_string("abc"), hash_string("abd"));
+    EXPECT_NE(hash_string(""), hash_string("a"));
+}
+
+TEST(Rng, HashCombineOrderSensitive)
+{
+    EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+// Property sweep: forked streams at many indices never collide on
+// their first draws.
+class RngForkSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngForkSweep, FirstDrawsDistinctAcrossIndices)
+{
+    Rng parent(GetParam());
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 500; ++i)
+        seen.insert(parent.fork(i).next_u64());
+    EXPECT_EQ(seen.size(), 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngForkSweep,
+                         ::testing::Values(1, 42, 1234, 99999,
+                                           0xDEADBEEF));

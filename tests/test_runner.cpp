@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests of the experiment runner: solo/bubble/co-run measurements.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "workload/catalog.hpp"
+#include "workload/runner.hpp"
+
+using namespace imc;
+using namespace imc::workload;
+
+namespace {
+
+RunConfig
+fast_cfg()
+{
+    RunConfig cfg;
+    cfg.reps = 2;
+    cfg.seed = 77;
+    return cfg;
+}
+
+AppSpec
+short_app(const std::string& abbrev)
+{
+    AppSpec s = find_app(abbrev);
+    if (s.kind == AppKind::Bsp) {
+        s.bsp.iterations = 10;
+    } else if (s.kind == AppKind::TaskPool) {
+        s.pool.stages = std::min(s.pool.stages, 3);
+    } else {
+        s.batch.total_work = 10.0;
+        s.batch.segments = 10;
+    }
+    return s;
+}
+
+} // namespace
+
+TEST(Runner, AllNodesListsWholeCluster)
+{
+    const auto nodes = all_nodes(sim::ClusterSpec::private8());
+    ASSERT_EQ(nodes.size(), 8u);
+    EXPECT_EQ(nodes.front(), 0);
+    EXPECT_EQ(nodes.back(), 7);
+}
+
+TEST(Runner, BubbleTenantsSkipZeroPressure)
+{
+    const auto tenants = bubble_tenants({0.0, 3.0, 0.0, 5.0});
+    ASSERT_EQ(tenants.size(), 2u);
+    EXPECT_EQ(tenants[0].node, 1);
+    EXPECT_EQ(tenants[1].node, 3);
+    EXPECT_GT(tenants[1].demand.gen_mb, tenants[0].demand.gen_mb);
+}
+
+TEST(Runner, BubbleTenantsRejectNegative)
+{
+    EXPECT_THROW(bubble_tenants({-1.0}), ConfigError);
+}
+
+TEST(Runner, SoloTimeDeterministicAndPositive)
+{
+    const auto cfg = fast_cfg();
+    const auto app = short_app("M.milc");
+    const auto nodes = all_nodes(cfg.cluster);
+    const double t1 = run_solo_time(app, nodes, cfg);
+    const double t2 = run_solo_time(app, nodes, cfg);
+    EXPECT_GT(t1, 0.0);
+    EXPECT_DOUBLE_EQ(t1, t2);
+}
+
+TEST(Runner, DifferentSaltsGiveDifferentNoise)
+{
+    auto cfg = fast_cfg();
+    const auto app = short_app("M.milc");
+    const auto nodes = all_nodes(cfg.cluster);
+    const double t1 = run_solo_time(app, nodes, cfg);
+    cfg.salt = 999;
+    const double t2 = run_solo_time(app, nodes, cfg);
+    EXPECT_NE(t1, t2);
+    EXPECT_NEAR(t1 / t2, 1.0, 0.05); // same distribution though
+}
+
+TEST(Runner, BubblesSlowTheRun)
+{
+    const auto cfg = fast_cfg();
+    const auto app = short_app("N.mg");
+    const auto nodes = all_nodes(cfg.cluster);
+    const double norm = run_with_bubbles_norm(
+        app, nodes, {8, 8, 8, 8, 8, 8, 8, 8}, cfg);
+    EXPECT_GT(norm, 1.3);
+}
+
+TEST(Runner, NoBubblesIsUnity)
+{
+    const auto cfg = fast_cfg();
+    const auto app = short_app("M.zeus");
+    const auto nodes = all_nodes(cfg.cluster);
+    const double norm = run_with_bubbles_norm(
+        app, nodes, {0, 0, 0, 0, 0, 0, 0, 0}, cfg);
+    EXPECT_DOUBLE_EQ(norm, 1.0);
+}
+
+TEST(Runner, MorePressureMeansMoreSlowdown)
+{
+    const auto cfg = fast_cfg();
+    const auto app = short_app("N.cg");
+    const auto nodes = all_nodes(cfg.cluster);
+    const double lo = run_with_bubbles_norm(
+        app, nodes, {2, 2, 2, 2, 2, 2, 2, 2}, cfg);
+    const double hi = run_with_bubbles_norm(
+        app, nodes, {8, 8, 8, 8, 8, 8, 8, 8}, cfg);
+    EXPECT_GT(hi, lo);
+}
+
+TEST(Runner, CorunSlowsTarget)
+{
+    const auto cfg = fast_cfg();
+    const auto target = short_app("M.milc");
+    const auto nodes = all_nodes(cfg.cluster);
+    const double solo = run_solo_time(target, nodes, cfg);
+    const double corun = run_corun_time(
+        target, nodes, {Deployment{short_app("C.mcf"), nodes}}, cfg);
+    EXPECT_GT(corun, solo * 1.02);
+}
+
+TEST(Runner, CorunWithGentleAppBarelyHurts)
+{
+    const auto cfg = fast_cfg();
+    const auto target = short_app("H.KM");
+    const auto nodes = all_nodes(cfg.cluster);
+    const double solo = run_solo_time(target, nodes, cfg);
+    const double corun = run_corun_time(
+        target, nodes, {Deployment{short_app("S.WC"), nodes}}, cfg);
+    EXPECT_LT(corun / solo, 1.15);
+}
+
+TEST(Runner, RestartingAppKeepsRelaunching)
+{
+    sim::Simulation sim(sim::ClusterSpec::private8());
+    AppSpec spec = short_app("C.gcc");
+    LaunchOptions opts;
+    opts.nodes = {0};
+    opts.procs_per_node = 1;
+    opts.rng = Rng(3);
+    RestartingApp restarting(sim, spec, std::move(opts));
+    // Run for a while, then stop it.
+    for (int i = 0; i < 100 && sim.step(); ++i) {
+    }
+    restarting.stop();
+    sim.run();
+    EXPECT_GE(restarting.completions(), 1);
+    EXPECT_GT(restarting.first_finish_time(), 0.0);
+}
+
+TEST(Runner, Dom0AdjustmentScalesWithOverlap)
+{
+    Rng rng(5);
+    const std::vector<AppSpec> mixed{find_app("M.Gems"),
+                                     find_app("H.KM")};
+    const auto none = corun_adjustments(mixed, {0.0, 0.0}, rng);
+    EXPECT_EQ(none[0].extra_noise_sigma, 0.0);
+    EXPECT_EQ(none[0].demand_scale, 1.0);
+
+    const auto half = corun_adjustments(mixed, {0.5, 0.0}, rng);
+    const auto full = corun_adjustments(mixed, {1.0, 0.0}, rng);
+    EXPECT_GT(half[0].extra_noise_sigma, 0.0);
+    EXPECT_GT(full[0].extra_noise_sigma, half[0].extra_noise_sigma);
+    EXPECT_NE(full[0].demand_scale, 1.0);
+    // The non-sensitive app is unaffected even at full overlap.
+    const auto other = corun_adjustments(mixed, {0.0, 1.0}, rng);
+    EXPECT_EQ(other[1].extra_noise_sigma, 0.0);
+}
+
+TEST(Runner, FluctuatingOverlapsComputed)
+{
+    const std::vector<Deployment> deployments{
+        {find_app("M.Gems"), {0, 1, 2, 3}},
+        {find_app("H.KM"), {2, 3, 4, 5}},   // fluctuating
+        {find_app("C.gcc"), {0, 1, 6, 7}},  // not fluctuating
+    };
+    const auto overlaps = fluctuating_overlaps(deployments);
+    EXPECT_DOUBLE_EQ(overlaps[0], 0.5); // nodes 2,3 of 4
+    EXPECT_DOUBLE_EQ(overlaps[1], 0.0); // no other fluctuating app
+    EXPECT_DOUBLE_EQ(overlaps[2], 0.0);
+}
+
+TEST(Runner, Ec2BackgroundRaisesVariance)
+{
+    RunConfig priv = fast_cfg();
+    priv.reps = 1;
+    RunConfig ec2 = priv;
+    ec2.cluster = sim::ClusterSpec::ec2_32();
+
+    AppSpec app = short_app("M.milc");
+    const auto priv_nodes = all_nodes(priv.cluster);
+    const auto ec2_nodes = all_nodes(ec2.cluster);
+
+    // Sample several salts; EC2 solo runtimes scatter more.
+    auto spread = [&](const RunConfig& base,
+                      const std::vector<sim::NodeId>& nodes) {
+        double lo = 1e18;
+        double hi = 0.0;
+        for (std::uint64_t s = 0; s < 6; ++s) {
+            RunConfig cfg = base;
+            cfg.salt = s;
+            const double t = run_solo_time(app, nodes, cfg);
+            lo = std::min(lo, t);
+            hi = std::max(hi, t);
+        }
+        return hi / lo;
+    };
+    EXPECT_GT(spread(ec2, ec2_nodes), spread(priv, priv_nodes));
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests of the sensitivity matrix and its bilinear lookup.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/sensitivity_matrix.hpp"
+
+using namespace imc;
+using namespace imc::core;
+
+namespace {
+
+SensitivityMatrix
+simple()
+{
+    // 2 pressure levels, 2 hosts.
+    return SensitivityMatrix({{1.0, 1.2, 1.4}, {1.0, 1.6, 2.0}});
+}
+
+} // namespace
+
+TEST(SensitivityMatrix, DimensionsReported)
+{
+    const auto m = simple();
+    EXPECT_EQ(m.pressure_levels(), 2);
+    EXPECT_EQ(m.hosts(), 2);
+}
+
+TEST(SensitivityMatrix, ExactLookups)
+{
+    const auto m = simple();
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 1.4);
+    EXPECT_DOUBLE_EQ(m.at(2, 1), 1.6);
+}
+
+TEST(SensitivityMatrix, AtRangeChecked)
+{
+    const auto m = simple();
+    EXPECT_THROW(m.at(0, 0), ConfigError);
+    EXPECT_THROW(m.at(3, 0), ConfigError);
+    EXPECT_THROW(m.at(1, 3), ConfigError);
+    EXPECT_THROW(m.at(1, -1), ConfigError);
+}
+
+TEST(SensitivityMatrix, LookupMatchesAtOnGrid)
+{
+    const auto m = simple();
+    for (int p = 1; p <= 2; ++p) {
+        for (int j = 0; j <= 2; ++j)
+            EXPECT_DOUBLE_EQ(m.lookup(p, j), m.at(p, j));
+    }
+}
+
+TEST(SensitivityMatrix, LookupInterpolatesNodes)
+{
+    const auto m = simple();
+    EXPECT_DOUBLE_EQ(m.lookup(1.0, 0.5), 1.1);
+    EXPECT_DOUBLE_EQ(m.lookup(2.0, 1.5), 1.8);
+}
+
+TEST(SensitivityMatrix, LookupInterpolatesPressure)
+{
+    const auto m = simple();
+    EXPECT_DOUBLE_EQ(m.lookup(1.5, 1.0), 1.4);
+    EXPECT_DOUBLE_EQ(m.lookup(1.5, 2.0), 1.7);
+}
+
+TEST(SensitivityMatrix, SubUnityPressureSnapsToLowestRow)
+{
+    const auto m = simple();
+    // Pressure 0 means no interference: exactly 1 everywhere.
+    EXPECT_DOUBLE_EQ(m.lookup(0.0, 2.0), 1.0);
+    // Any positive pressure below 1 behaves like the lowest profiled
+    // level: a busy co-tenant is never "free" (Dom0 effect).
+    EXPECT_DOUBLE_EQ(m.lookup(0.5, 2.0), 1.4);
+    EXPECT_DOUBLE_EQ(m.lookup(0.01, 2.0), 1.4);
+}
+
+TEST(SensitivityMatrix, LookupClampsOutOfRange)
+{
+    const auto m = simple();
+    EXPECT_DOUBLE_EQ(m.lookup(9.0, 2.0), m.at(2, 2));
+    EXPECT_DOUBLE_EQ(m.lookup(1.0, 9.0), m.at(1, 2));
+    EXPECT_DOUBLE_EQ(m.lookup(-1.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(m.lookup(1.0, -1.0), 1.0);
+}
+
+TEST(SensitivityMatrix, BilinearInterior)
+{
+    const auto m = simple();
+    // Midpoint of the four corners (1,1)=1.2 (1,2)=1.4 (2,1)=1.6
+    // (2,2)=2.0 -> 1.55.
+    EXPECT_DOUBLE_EQ(m.lookup(1.5, 1.5), 1.55);
+}
+
+TEST(SensitivityMatrix, ValidationRejectsBadInput)
+{
+    EXPECT_THROW(SensitivityMatrix({}), ConfigError);
+    // Column 0 must be exactly 1.
+    EXPECT_THROW(SensitivityMatrix({{1.1, 1.2}}), ConfigError);
+    // Ragged rows.
+    EXPECT_THROW(SensitivityMatrix({{1.0, 1.2}, {1.0}}), ConfigError);
+    // Nonpositive entries.
+    EXPECT_THROW(SensitivityMatrix({{1.0, -0.5}}), ConfigError);
+    // Need at least one host column.
+    std::vector<std::vector<double>> one_col{{1.0}};
+    EXPECT_THROW(SensitivityMatrix{one_col}, ConfigError);
+}
+
+TEST(SensitivityMatrix, SingleRowSingleHost)
+{
+    const SensitivityMatrix m({{1.0, 1.5}});
+    EXPECT_DOUBLE_EQ(m.lookup(1.0, 1.0), 1.5);
+    EXPECT_DOUBLE_EQ(m.lookup(0.5, 1.0), 1.5); // sub-1 snaps up
+    EXPECT_DOUBLE_EQ(m.lookup(1.0, 0.25), 1.125);
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests of model serialization: round-tripping, format validation,
+ * and robustness against corrupted inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/serialize.hpp"
+
+using namespace imc;
+using namespace imc::core;
+
+namespace {
+
+InterferenceModel
+sample_model()
+{
+    return InterferenceModel(
+        "M.test",
+        SensitivityMatrix({{1.0, 1.11, 1.22}, {1.0, 1.31, 1.42},
+                           {1.0, 1.51, 1.67}},
+                          {0.5, 3.0, 8.0}),
+        HeteroPolicy::NPlus1Max, 4.25);
+}
+
+} // namespace
+
+TEST(Serialize, RoundTripPreservesEverything)
+{
+    const auto original = sample_model();
+    std::stringstream buffer;
+    save_model(buffer, original);
+    const auto restored = load_model(buffer);
+
+    EXPECT_EQ(restored.app(), original.app());
+    EXPECT_EQ(restored.policy(), original.policy());
+    EXPECT_DOUBLE_EQ(restored.bubble_score(),
+                     original.bubble_score());
+    ASSERT_EQ(restored.matrix().pressure_levels(),
+              original.matrix().pressure_levels());
+    ASSERT_EQ(restored.matrix().hosts(), original.matrix().hosts());
+    EXPECT_EQ(restored.matrix().pressures(),
+              original.matrix().pressures());
+    for (int i = 1; i <= original.matrix().pressure_levels(); ++i) {
+        for (int j = 0; j <= original.matrix().hosts(); ++j)
+            EXPECT_DOUBLE_EQ(restored.matrix().at(i, j),
+                             original.matrix().at(i, j));
+    }
+}
+
+TEST(Serialize, RoundTripPredictionsIdentical)
+{
+    const auto original = sample_model();
+    std::stringstream buffer;
+    save_model(buffer, original);
+    const auto restored = load_model(buffer);
+    const std::vector<double> pressures{6.6, 0.0, 2.2, 0.4};
+    EXPECT_DOUBLE_EQ(restored.predict(pressures),
+                     original.predict(pressures));
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored)
+{
+    std::stringstream buffer;
+    save_model(buffer, sample_model());
+    const std::string text = "# leading comment\n\n" + buffer.str();
+    std::stringstream with_noise(text);
+    EXPECT_NO_THROW(load_model(with_noise));
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    const std::string path = "/tmp/imc_test_model.txt";
+    save_model_file(path, sample_model());
+    const auto restored = load_model_file(path);
+    EXPECT_EQ(restored.app(), "M.test");
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, BadMagicRejected)
+{
+    std::stringstream buffer("imc-model v9\napp x\n");
+    EXPECT_THROW(load_model(buffer), ConfigError);
+}
+
+TEST(Serialize, TruncatedInputRejected)
+{
+    std::stringstream full;
+    save_model(full, sample_model());
+    const std::string text = full.str();
+    // Chop the last row off.
+    std::stringstream truncated(
+        text.substr(0, text.rfind("row")));
+    EXPECT_THROW(load_model(truncated), ConfigError);
+}
+
+TEST(Serialize, CorruptedValuesRejected)
+{
+    std::stringstream full;
+    save_model(full, sample_model());
+    std::string text = full.str();
+    // Break column 0 of the first row (must be exactly 1).
+    const auto pos = text.find("row 1 1");
+    ASSERT_NE(pos, std::string::npos);
+    text[pos + 6] = '2';
+    std::stringstream corrupted(text);
+    EXPECT_THROW(load_model(corrupted), ConfigError);
+}
+
+TEST(Serialize, RowsOutOfOrderRejected)
+{
+    std::stringstream full;
+    save_model(full, sample_model());
+    std::string text = full.str();
+    // Renumber row 2 as row 3.
+    const auto pos = text.find("row 2");
+    ASSERT_NE(pos, std::string::npos);
+    text[pos + 4] = '3';
+    std::stringstream corrupted(text);
+    EXPECT_THROW(load_model(corrupted), ConfigError);
+}
+
+TEST(Serialize, MissingFileRejected)
+{
+    EXPECT_THROW(load_model_file("/nonexistent/nope.model"),
+                 ConfigError);
+}
+
+TEST(Serialize, PolicyNamesRoundTrip)
+{
+    for (const auto policy : all_policies())
+        EXPECT_EQ(policy_from_string(to_string(policy)), policy);
+    EXPECT_THROW(policy_from_string("NOT A POLICY"), ConfigError);
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests of the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+using namespace imc;
+
+TEST(OnlineStats, EmptyIsAllZero)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, SingleSample)
+{
+    OnlineStats s;
+    s.add(4.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 4.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 4.5);
+    EXPECT_EQ(s.max(), 4.5);
+}
+
+TEST(OnlineStats, KnownMoments)
+{
+    OnlineStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Unbiased variance of this classic data set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, NegativeValues)
+{
+    OnlineStats s;
+    s.add(-3.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), -3.0);
+    EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(Stats, MeanAndStddevOfVector)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, MeanOfEmptyVectorIsZero)
+{
+    EXPECT_EQ(mean({}), 0.0);
+    EXPECT_EQ(stddev({}), 0.0);
+}
+
+TEST(Stats, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, PercentileEndpointsAndMiddle)
+{
+    const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 75.0), 7.5);
+}
+
+TEST(Stats, PercentileRejectsBadP)
+{
+    EXPECT_THROW(percentile({1.0}, -1.0), ConfigError);
+    EXPECT_THROW(percentile({1.0}, 101.0), ConfigError);
+}
+
+TEST(Stats, AbsPctError)
+{
+    EXPECT_NEAR(abs_pct_error(1.1, 1.0), 10.0, 1e-9);
+    EXPECT_NEAR(abs_pct_error(0.9, 1.0), 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(abs_pct_error(2.0, 2.0), 0.0);
+}
+
+TEST(Stats, MeanAbsPctError)
+{
+    EXPECT_NEAR(
+        mean_abs_pct_error({1.1, 0.8}, {1.0, 1.0}), 15.0, 1e-9);
+}
+
+TEST(Stats, MeanAbsPctErrorRejectsMismatch)
+{
+    EXPECT_THROW(mean_abs_pct_error({1.0}, {1.0, 2.0}), ConfigError);
+    EXPECT_THROW(mean_abs_pct_error({}, {}), ConfigError);
+}
+
+// Property: Welford matches the two-pass formula on random data.
+class WelfordSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WelfordSweep, MatchesTwoPass)
+{
+    imc::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    std::vector<double> xs;
+    OnlineStats s;
+    for (int i = 0; i < 1'000; ++i) {
+        const double x = rng.uniform(-100.0, 100.0);
+        xs.push_back(x);
+        s.add(x);
+    }
+    double two_pass_mean = 0.0;
+    for (double x : xs)
+        two_pass_mean += x;
+    two_pass_mean /= static_cast<double>(xs.size());
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - two_pass_mean) * (x - two_pass_mean);
+    const double two_pass_var = ss / (static_cast<double>(xs.size()) - 1);
+    EXPECT_NEAR(s.mean(), two_pass_mean, 1e-9);
+    EXPECT_NEAR(s.variance(), two_pass_var, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WelfordSweep,
+                         ::testing::Range(1, 6));
