@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_propagation.dir/fig03_propagation.cpp.o"
+  "CMakeFiles/fig03_propagation.dir/fig03_propagation.cpp.o.d"
+  "fig03_propagation"
+  "fig03_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

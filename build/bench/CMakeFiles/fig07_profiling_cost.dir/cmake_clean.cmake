@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_profiling_cost.dir/fig07_profiling_cost.cpp.o"
+  "CMakeFiles/fig07_profiling_cost.dir/fig07_profiling_cost.cpp.o.d"
+  "fig07_profiling_cost"
+  "fig07_profiling_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_profiling_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_validation.dir/fig08_validation.cpp.o"
+  "CMakeFiles/fig08_validation.dir/fig08_validation.cpp.o.d"
+  "fig08_validation"
+  "fig08_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_gems_validation.dir/fig09_gems_validation.cpp.o"
+  "CMakeFiles/fig09_gems_validation.dir/fig09_gems_validation.cpp.o.d"
+  "fig09_gems_validation"
+  "fig09_gems_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_gems_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_qos_placement.dir/fig10_qos_placement.cpp.o"
+  "CMakeFiles/fig10_qos_placement.dir/fig10_qos_placement.cpp.o.d"
+  "fig10_qos_placement"
+  "fig10_qos_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_qos_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_performance_placement.dir/fig11_performance_placement.cpp.o"
+  "CMakeFiles/fig11_performance_placement.dir/fig11_performance_placement.cpp.o.d"
+  "fig11_performance_placement"
+  "fig11_performance_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_performance_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

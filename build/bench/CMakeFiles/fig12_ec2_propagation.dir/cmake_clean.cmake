@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ec2_propagation.dir/fig12_ec2_propagation.cpp.o"
+  "CMakeFiles/fig12_ec2_propagation.dir/fig12_ec2_propagation.cpp.o.d"
+  "fig12_ec2_propagation"
+  "fig12_ec2_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ec2_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

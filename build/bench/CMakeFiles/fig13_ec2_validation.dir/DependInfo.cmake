@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_ec2_validation.cpp" "bench/CMakeFiles/fig13_ec2_validation.dir/fig13_ec2_validation.cpp.o" "gcc" "bench/CMakeFiles/fig13_ec2_validation.dir/fig13_ec2_validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/imc_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/imc_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/imc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/imc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/imc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bubble/CMakeFiles/imc_bubble.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/imc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ec2_validation.dir/fig13_ec2_validation.cpp.o"
+  "CMakeFiles/fig13_ec2_validation.dir/fig13_ec2_validation.cpp.o.d"
+  "fig13_ec2_validation"
+  "fig13_ec2_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ec2_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

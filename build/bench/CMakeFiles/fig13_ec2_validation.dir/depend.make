@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_ec2_validation.
+# This may be replaced when dependencies are built.

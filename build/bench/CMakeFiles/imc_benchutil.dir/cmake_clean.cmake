@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_benchutil.dir/bench_util.cpp.o"
+  "CMakeFiles/imc_benchutil.dir/bench_util.cpp.o.d"
+  "libimc_benchutil.a"
+  "libimc_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

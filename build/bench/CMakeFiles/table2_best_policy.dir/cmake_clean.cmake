@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_best_policy.dir/table2_best_policy.cpp.o"
+  "CMakeFiles/table2_best_policy.dir/table2_best_policy.cpp.o.d"
+  "table2_best_policy"
+  "table2_best_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_best_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_bubble_scores.dir/table4_bubble_scores.cpp.o"
+  "CMakeFiles/table4_bubble_scores.dir/table4_bubble_scores.cpp.o.d"
+  "table4_bubble_scores"
+  "table4_bubble_scores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_bubble_scores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_ec2_policy.dir/table6_ec2_policy.cpp.o"
+  "CMakeFiles/table6_ec2_policy.dir/table6_ec2_policy.cpp.o.d"
+  "table6_ec2_policy"
+  "table6_ec2_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_ec2_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imctl.dir/imctl.cpp.o"
+  "CMakeFiles/imctl.dir/imctl.cpp.o.d"
+  "imctl"
+  "imctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

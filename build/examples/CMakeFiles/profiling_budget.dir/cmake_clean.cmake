@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiling_budget.dir/profiling_budget.cpp.o"
+  "CMakeFiles/profiling_budget.dir/profiling_budget.cpp.o.d"
+  "profiling_budget"
+  "profiling_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiling_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

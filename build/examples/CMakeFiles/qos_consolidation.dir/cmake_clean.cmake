@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_consolidation.dir/qos_consolidation.cpp.o"
+  "CMakeFiles/qos_consolidation.dir/qos_consolidation.cpp.o.d"
+  "qos_consolidation"
+  "qos_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_bubble.dir/bubble.cpp.o"
+  "CMakeFiles/imc_bubble.dir/bubble.cpp.o.d"
+  "libimc_bubble.a"
+  "libimc_bubble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_bubble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

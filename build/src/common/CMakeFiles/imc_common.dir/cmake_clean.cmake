@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_common.dir/chart.cpp.o"
+  "CMakeFiles/imc_common.dir/chart.cpp.o.d"
+  "CMakeFiles/imc_common.dir/cli.cpp.o"
+  "CMakeFiles/imc_common.dir/cli.cpp.o.d"
+  "CMakeFiles/imc_common.dir/interp.cpp.o"
+  "CMakeFiles/imc_common.dir/interp.cpp.o.d"
+  "CMakeFiles/imc_common.dir/rng.cpp.o"
+  "CMakeFiles/imc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/imc_common.dir/stats.cpp.o"
+  "CMakeFiles/imc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/imc_common.dir/strings.cpp.o"
+  "CMakeFiles/imc_common.dir/strings.cpp.o.d"
+  "CMakeFiles/imc_common.dir/table.cpp.o"
+  "CMakeFiles/imc_common.dir/table.cpp.o.d"
+  "libimc_common.a"
+  "libimc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/heterogeneity.cpp" "src/core/CMakeFiles/imc_core.dir/heterogeneity.cpp.o" "gcc" "src/core/CMakeFiles/imc_core.dir/heterogeneity.cpp.o.d"
+  "/root/repo/src/core/measure.cpp" "src/core/CMakeFiles/imc_core.dir/measure.cpp.o" "gcc" "src/core/CMakeFiles/imc_core.dir/measure.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/imc_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/imc_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/imc_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/imc_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/profilers.cpp" "src/core/CMakeFiles/imc_core.dir/profilers.cpp.o" "gcc" "src/core/CMakeFiles/imc_core.dir/profilers.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/imc_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/imc_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/scorer.cpp" "src/core/CMakeFiles/imc_core.dir/scorer.cpp.o" "gcc" "src/core/CMakeFiles/imc_core.dir/scorer.cpp.o.d"
+  "/root/repo/src/core/sensitivity_matrix.cpp" "src/core/CMakeFiles/imc_core.dir/sensitivity_matrix.cpp.o" "gcc" "src/core/CMakeFiles/imc_core.dir/sensitivity_matrix.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/imc_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/imc_core.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/imc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bubble/CMakeFiles/imc_bubble.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/imc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/imc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_core.dir/heterogeneity.cpp.o"
+  "CMakeFiles/imc_core.dir/heterogeneity.cpp.o.d"
+  "CMakeFiles/imc_core.dir/measure.cpp.o"
+  "CMakeFiles/imc_core.dir/measure.cpp.o.d"
+  "CMakeFiles/imc_core.dir/model.cpp.o"
+  "CMakeFiles/imc_core.dir/model.cpp.o.d"
+  "CMakeFiles/imc_core.dir/online.cpp.o"
+  "CMakeFiles/imc_core.dir/online.cpp.o.d"
+  "CMakeFiles/imc_core.dir/profilers.cpp.o"
+  "CMakeFiles/imc_core.dir/profilers.cpp.o.d"
+  "CMakeFiles/imc_core.dir/registry.cpp.o"
+  "CMakeFiles/imc_core.dir/registry.cpp.o.d"
+  "CMakeFiles/imc_core.dir/scorer.cpp.o"
+  "CMakeFiles/imc_core.dir/scorer.cpp.o.d"
+  "CMakeFiles/imc_core.dir/sensitivity_matrix.cpp.o"
+  "CMakeFiles/imc_core.dir/sensitivity_matrix.cpp.o.d"
+  "CMakeFiles/imc_core.dir/serialize.cpp.o"
+  "CMakeFiles/imc_core.dir/serialize.cpp.o.d"
+  "libimc_core.a"
+  "libimc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/annealer.cpp" "src/placement/CMakeFiles/imc_placement.dir/annealer.cpp.o" "gcc" "src/placement/CMakeFiles/imc_placement.dir/annealer.cpp.o.d"
+  "/root/repo/src/placement/enumerate.cpp" "src/placement/CMakeFiles/imc_placement.dir/enumerate.cpp.o" "gcc" "src/placement/CMakeFiles/imc_placement.dir/enumerate.cpp.o.d"
+  "/root/repo/src/placement/evaluator.cpp" "src/placement/CMakeFiles/imc_placement.dir/evaluator.cpp.o" "gcc" "src/placement/CMakeFiles/imc_placement.dir/evaluator.cpp.o.d"
+  "/root/repo/src/placement/greedy.cpp" "src/placement/CMakeFiles/imc_placement.dir/greedy.cpp.o" "gcc" "src/placement/CMakeFiles/imc_placement.dir/greedy.cpp.o.d"
+  "/root/repo/src/placement/mixes.cpp" "src/placement/CMakeFiles/imc_placement.dir/mixes.cpp.o" "gcc" "src/placement/CMakeFiles/imc_placement.dir/mixes.cpp.o.d"
+  "/root/repo/src/placement/placement.cpp" "src/placement/CMakeFiles/imc_placement.dir/placement.cpp.o" "gcc" "src/placement/CMakeFiles/imc_placement.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/imc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/imc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bubble/CMakeFiles/imc_bubble.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/imc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/imc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

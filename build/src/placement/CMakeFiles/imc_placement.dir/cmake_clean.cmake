@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_placement.dir/annealer.cpp.o"
+  "CMakeFiles/imc_placement.dir/annealer.cpp.o.d"
+  "CMakeFiles/imc_placement.dir/enumerate.cpp.o"
+  "CMakeFiles/imc_placement.dir/enumerate.cpp.o.d"
+  "CMakeFiles/imc_placement.dir/evaluator.cpp.o"
+  "CMakeFiles/imc_placement.dir/evaluator.cpp.o.d"
+  "CMakeFiles/imc_placement.dir/greedy.cpp.o"
+  "CMakeFiles/imc_placement.dir/greedy.cpp.o.d"
+  "CMakeFiles/imc_placement.dir/mixes.cpp.o"
+  "CMakeFiles/imc_placement.dir/mixes.cpp.o.d"
+  "CMakeFiles/imc_placement.dir/placement.cpp.o"
+  "CMakeFiles/imc_placement.dir/placement.cpp.o.d"
+  "libimc_placement.a"
+  "libimc_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_sim.dir/cluster.cpp.o"
+  "CMakeFiles/imc_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/imc_sim.dir/contention.cpp.o"
+  "CMakeFiles/imc_sim.dir/contention.cpp.o.d"
+  "CMakeFiles/imc_sim.dir/coordination.cpp.o"
+  "CMakeFiles/imc_sim.dir/coordination.cpp.o.d"
+  "CMakeFiles/imc_sim.dir/engine.cpp.o"
+  "CMakeFiles/imc_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/imc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/imc_sim.dir/event_queue.cpp.o.d"
+  "libimc_sim.a"
+  "libimc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app.cpp" "src/workload/CMakeFiles/imc_workload.dir/app.cpp.o" "gcc" "src/workload/CMakeFiles/imc_workload.dir/app.cpp.o.d"
+  "/root/repo/src/workload/batch_app.cpp" "src/workload/CMakeFiles/imc_workload.dir/batch_app.cpp.o" "gcc" "src/workload/CMakeFiles/imc_workload.dir/batch_app.cpp.o.d"
+  "/root/repo/src/workload/bsp_app.cpp" "src/workload/CMakeFiles/imc_workload.dir/bsp_app.cpp.o" "gcc" "src/workload/CMakeFiles/imc_workload.dir/bsp_app.cpp.o.d"
+  "/root/repo/src/workload/catalog.cpp" "src/workload/CMakeFiles/imc_workload.dir/catalog.cpp.o" "gcc" "src/workload/CMakeFiles/imc_workload.dir/catalog.cpp.o.d"
+  "/root/repo/src/workload/runner.cpp" "src/workload/CMakeFiles/imc_workload.dir/runner.cpp.o" "gcc" "src/workload/CMakeFiles/imc_workload.dir/runner.cpp.o.d"
+  "/root/repo/src/workload/taskpool_app.cpp" "src/workload/CMakeFiles/imc_workload.dir/taskpool_app.cpp.o" "gcc" "src/workload/CMakeFiles/imc_workload.dir/taskpool_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/imc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bubble/CMakeFiles/imc_bubble.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/imc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_workload.dir/app.cpp.o"
+  "CMakeFiles/imc_workload.dir/app.cpp.o.d"
+  "CMakeFiles/imc_workload.dir/batch_app.cpp.o"
+  "CMakeFiles/imc_workload.dir/batch_app.cpp.o.d"
+  "CMakeFiles/imc_workload.dir/bsp_app.cpp.o"
+  "CMakeFiles/imc_workload.dir/bsp_app.cpp.o.d"
+  "CMakeFiles/imc_workload.dir/catalog.cpp.o"
+  "CMakeFiles/imc_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/imc_workload.dir/runner.cpp.o"
+  "CMakeFiles/imc_workload.dir/runner.cpp.o.d"
+  "CMakeFiles/imc_workload.dir/taskpool_app.cpp.o"
+  "CMakeFiles/imc_workload.dir/taskpool_app.cpp.o.d"
+  "libimc_workload.a"
+  "libimc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

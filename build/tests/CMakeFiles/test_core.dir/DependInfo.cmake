@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_heterogeneity.cpp" "tests/CMakeFiles/test_core.dir/test_heterogeneity.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_heterogeneity.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/test_core.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_online.cpp" "tests/CMakeFiles/test_core.dir/test_online.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_online.cpp.o.d"
+  "/root/repo/tests/test_profilers.cpp" "tests/CMakeFiles/test_core.dir/test_profilers.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_profilers.cpp.o.d"
+  "/root/repo/tests/test_registry.cpp" "tests/CMakeFiles/test_core.dir/test_registry.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_registry.cpp.o.d"
+  "/root/repo/tests/test_scorer.cpp" "tests/CMakeFiles/test_core.dir/test_scorer.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_scorer.cpp.o.d"
+  "/root/repo/tests/test_sensitivity_matrix.cpp" "tests/CMakeFiles/test_core.dir/test_sensitivity_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_sensitivity_matrix.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/test_core.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/placement/CMakeFiles/imc_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/imc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/imc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bubble/CMakeFiles/imc_bubble.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/imc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/imc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_heterogeneity.cpp.o"
+  "CMakeFiles/test_core.dir/test_heterogeneity.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_model.cpp.o"
+  "CMakeFiles/test_core.dir/test_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_online.cpp.o"
+  "CMakeFiles/test_core.dir/test_online.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_profilers.cpp.o"
+  "CMakeFiles/test_core.dir/test_profilers.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_registry.cpp.o"
+  "CMakeFiles/test_core.dir/test_registry.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_scorer.cpp.o"
+  "CMakeFiles/test_core.dir/test_scorer.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_sensitivity_matrix.cpp.o"
+  "CMakeFiles/test_core.dir/test_sensitivity_matrix.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_serialize.cpp.o"
+  "CMakeFiles/test_core.dir/test_serialize.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

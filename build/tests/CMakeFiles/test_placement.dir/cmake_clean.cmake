@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_placement.dir/test_annealer.cpp.o"
+  "CMakeFiles/test_placement.dir/test_annealer.cpp.o.d"
+  "CMakeFiles/test_placement.dir/test_enumerate.cpp.o"
+  "CMakeFiles/test_placement.dir/test_enumerate.cpp.o.d"
+  "CMakeFiles/test_placement.dir/test_evaluator.cpp.o"
+  "CMakeFiles/test_placement.dir/test_evaluator.cpp.o.d"
+  "CMakeFiles/test_placement.dir/test_greedy.cpp.o"
+  "CMakeFiles/test_placement.dir/test_greedy.cpp.o.d"
+  "CMakeFiles/test_placement.dir/test_placement.cpp.o"
+  "CMakeFiles/test_placement.dir/test_placement.cpp.o.d"
+  "test_placement"
+  "test_placement.pdb"
+  "test_placement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
