@@ -68,6 +68,8 @@ main(int argc, char** argv)
             opts.iterations = iters;
             opts.seed = hash_combine(cfg.seed,
                                      hash_string(mix.name) + 1);
+            // Default 1 keeps the recorded results reproducible.
+            opts.chains = cli.get_int("chains", 1);
             QosConstraint qos{mix.qos_index, limit};
             const auto found =
                 anneal(initial, *variant.evaluator,

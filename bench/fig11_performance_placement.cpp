@@ -91,6 +91,8 @@ main(int argc, char** argv)
             opts.iterations = iters;
             opts.seed = hash_combine(cfg.seed,
                                      hash_string(mix.name + tag));
+            // Default 1 keeps the recorded results reproducible.
+            opts.chains = cli.get_int("chains", 1);
             return anneal(initial, evaluator, goal, std::nullopt,
                           opts)
                 .placement;

@@ -13,6 +13,7 @@
  * Usage: capacity_planner [--app N.mg]
  *                         [--candidates C.gcc,C.mcf,C.libq,H.KM,S.PR]
  *                         [--seed S]
+ *                         [--chains N]   (0 = one per hardware thread)
  */
 
 #include <algorithm>
@@ -72,6 +73,7 @@ main(int argc, char** argv)
                 AnnealOptions opts;
                 opts.iterations = cli.get_int("iters", 2500);
                 opts.seed = rng.next_u64();
+                opts.chains = cli.get_int("chains", 0);
                 const auto found =
                     anneal(initial, evaluator,
                            Goal::MinimizeTotalTime, std::nullopt,
@@ -127,6 +129,7 @@ main(int argc, char** argv)
         AnnealOptions opts;
         opts.iterations = cli.get_int("iters", 2500);
         opts.seed = 4242;
+        opts.chains = cli.get_int("chains", 0);
         const auto found = anneal(initial, evaluator,
                                   Goal::MinimizeTotalTime,
                                   std::nullopt, opts);

@@ -142,6 +142,8 @@ cmd_place(const Cli& cli)
     placement::AnnealOptions opts;
     opts.iterations = cli.get_int("iters", 4000);
     opts.seed = cfg.seed + 1;
+    // Default 1 keeps place output identical to earlier releases.
+    opts.chains = cli.get_int("chains", 1);
 
     std::optional<placement::QosConstraint> qos;
     if (cli.has("qos")) {

@@ -12,6 +12,7 @@
  * Usage: qos_consolidation [--critical N.cg]
  *                          [--others C.mcf,S.WC,M.zeus]
  *                          [--qos 0.8] [--seed S]
+ *                          [--chains N]   (0 = one per hardware thread)
  */
 
 #include <iostream>
@@ -66,6 +67,7 @@ main(int argc, char** argv)
     AnnealOptions opts;
     opts.iterations = cli.get_int("iters", 4000);
     opts.seed = cfg.seed + 1;
+    opts.chains = cli.get_int("chains", 0); // all hardware threads
     QosConstraint qos{0, limit};
     const auto found = anneal(random_placement, evaluator,
                               Goal::MinimizeTotalTime, qos, opts);

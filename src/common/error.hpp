@@ -48,6 +48,19 @@ require(bool cond, const std::string& msg)
 }
 
 /**
+ * Literal-message overload: avoids materializing a std::string on the
+ * success path. Checks like convert()'s per-pressure validation sit
+ * inside the placement search's prediction loop, where the temporary
+ * shows up as a per-call heap allocation.
+ */
+inline void
+require(bool cond, const char* msg)
+{
+    if (!cond)
+        throw ConfigError(msg);
+}
+
+/**
  * Check an internal invariant; throw LogicBug on failure.
  *
  * @param cond condition that must hold
@@ -55,6 +68,14 @@ require(bool cond, const std::string& msg)
  */
 inline void
 invariant(bool cond, const std::string& msg)
+{
+    if (!cond)
+        throw LogicBug(msg);
+}
+
+/** Literal-message overload; see require(bool, const char*). */
+inline void
+invariant(bool cond, const char* msg)
 {
     if (!cond)
         throw LogicBug(msg);

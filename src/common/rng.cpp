@@ -146,4 +146,17 @@ Rng::fork(std::uint64_t index) const
     return Rng(hash_combine(seed_, index + 0x51ED270B1ULL));
 }
 
+std::vector<Rng>
+Rng::parallel_streams(int n) const
+{
+    invariant(n >= 1, "parallel_streams: need at least one stream");
+    std::vector<Rng> streams;
+    streams.reserve(static_cast<std::size_t>(n));
+    streams.push_back(*this);
+    const Rng base = fork("parallel-stream");
+    for (int c = 1; c < n; ++c)
+        streams.push_back(base.fork(static_cast<std::uint64_t>(c)));
+    return streams;
+}
+
 } // namespace imc

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace imc {
 
@@ -79,6 +80,18 @@ class Rng {
 
     /** Derive an independent child stream identified by an index. */
     Rng fork(std::uint64_t index) const;
+
+    /**
+     * Independent streams for @p n parallel workers.
+     *
+     * Stream 0 is a copy of this stream itself, so a single-worker
+     * run (which consumes the parent directly) stays bit-compatible
+     * with worker 0 of a parallel run; streams 1..n-1 are named
+     * forks, independent of how much the parent has drawn.
+     *
+     * @pre n >= 1
+     */
+    std::vector<Rng> parallel_streams(int n) const;
 
     /** The seed this stream was constructed with. */
     std::uint64_t seed() const { return seed_; }

@@ -56,6 +56,10 @@ ModelRegistry::model(const workload::AppSpec& app, int deploy_nodes)
                 deploy_nodes <= cfg_.cluster.num_nodes,
             "ModelRegistry: deployment size out of range");
     const auto key = std::make_pair(app.abbrev, deploy_nodes);
+    // Serializing build() under the lock is deliberate: profiling is
+    // deterministic per key, and concurrent callers asking for the
+    // same key must not both build it.
+    const std::lock_guard<std::mutex> lock(mutex_);
     auto it = cache_.find(key);
     if (it == cache_.end())
         it = cache_.emplace(key, build(app, deploy_nodes)).first;

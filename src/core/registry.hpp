@@ -15,6 +15,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/model.hpp"
@@ -67,7 +68,10 @@ class ModelRegistry {
     /**
      * The model of @p app at a deployment spanning @p deploy_nodes
      * nodes (profiled on nodes [0, deploy_nodes) by symmetry).
-     * Builds on first use, then caches.
+     * Builds on first use, then caches; the returned reference stays
+     * valid for the registry's lifetime. Thread-safe: concurrent
+     * callers (parallel annealing chains, parallel benches) hit the
+     * cache under a lock, and at most one builds a given model.
      */
     const BuiltModel& model(const workload::AppSpec& app,
                             int deploy_nodes);
@@ -90,6 +94,8 @@ class ModelRegistry {
     workload::RunConfig cfg_;
     ModelBuildOptions opts_;
     BubbleScorer scorer_;
+    /** Guards cache_ (std::map nodes are reference-stable). */
+    std::mutex mutex_;
     std::map<std::pair<std::string, int>, BuiltModel> cache_;
 };
 

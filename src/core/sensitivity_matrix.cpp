@@ -29,6 +29,13 @@ SensitivityMatrix::SensitivityMatrix(
                     "SensitivityMatrix: pressures must increase");
         }
     }
+    uniform_grid_ = true;
+    for (std::size_t i = 0; i < pressures_.size(); ++i) {
+        if (pressures_[i] != static_cast<double>(i + 1)) {
+            uniform_grid_ = false;
+            break;
+        }
+    }
     m_ = static_cast<int>(values_.front().size()) - 1;
     require(m_ >= 1, "SensitivityMatrix: need at least one host column");
     for (const auto& row : values_) {
@@ -76,11 +83,21 @@ SensitivityMatrix::lookup(double pressure, double nodes) const
                     static_cast<double>(hi), row[hi], node_pos);
     };
 
-    const auto it = std::upper_bound(pressures_.begin(),
-                                     pressures_.end(), p);
-    const auto hi_idx = static_cast<std::size_t>(
-        std::min<std::ptrdiff_t>(it - pressures_.begin(),
-                                 static_cast<std::ptrdiff_t>(n_) - 1));
+    // On the default uniform 1..n grid the row straddling p is known
+    // arithmetically (same index upper_bound would find); irregular
+    // grids (serialized models) keep the binary search.
+    std::size_t hi_idx;
+    if (uniform_grid_) {
+        hi_idx = std::min(static_cast<std::size_t>(p),
+                          static_cast<std::size_t>(n_) - 1);
+    } else {
+        const auto it = std::upper_bound(pressures_.begin(),
+                                         pressures_.end(), p);
+        hi_idx = static_cast<std::size_t>(
+            std::min<std::ptrdiff_t>(it - pressures_.begin(),
+                                     static_cast<std::ptrdiff_t>(n_) -
+                                         1));
+    }
     const std::size_t lo_idx = hi_idx > 0 ? hi_idx - 1 : 0;
     const double v_lo = row_value(lo_idx, j);
     if (lo_idx == hi_idx || p <= pressures_[lo_idx])

@@ -68,6 +68,13 @@ class SensitivityMatrix {
     std::vector<double> pressures_;
     int n_ = 0;
     int m_ = 0;
+    /**
+     * Cached at construction: the pressure grid is the default
+     * uniform 1..n, so lookup() can index rows arithmetically instead
+     * of binary-searching — the model-prediction hot path of the
+     * annealing search.
+     */
+    bool uniform_grid_ = false;
 };
 
 } // namespace imc::core

@@ -1,9 +1,12 @@
 #include "placement/annealer.hpp"
 
 #include <cmath>
+#include <exception>
+#include <thread>
 #include <utility>
 
 #include "common/error.hpp"
+#include "placement/delta_scorer.hpp"
 
 namespace imc::placement {
 
@@ -23,16 +26,13 @@ struct Score {
 };
 
 Score
-score_of(const Placement& placement, const Evaluator& evaluator,
+score_of(const DeltaScorer& scorer,
          const std::optional<QosConstraint>& qos)
 {
-    const auto times = evaluator.predict(placement);
     Score s;
-    for (std::size_t i = 0; i < times.size(); ++i)
-        s.total += times[i] * placement.instances()[i].units;
+    s.total = scorer.total_time();
     if (qos) {
-        const double t =
-            times.at(static_cast<std::size_t>(qos->instance));
+        const double t = scorer.time_of(qos->instance);
         s.violation = std::max(0.0, t - qos->max_norm_time);
     }
     return s;
@@ -57,33 +57,27 @@ all_units(const Placement& placement)
     return units;
 }
 
-} // namespace
+/** One chain's outcome (the violation is needed for selection). */
+struct ChainResult {
+    Placement placement;
+    Score score;
+    int accepted = 0;
+};
 
-AnnealResult
-anneal(Placement initial, const Evaluator& evaluator, Goal goal,
-       std::optional<QosConstraint> qos, const AnnealOptions& opts)
+ChainResult
+anneal_chain(const Placement& initial, const Evaluator& evaluator,
+             Goal goal, const std::optional<QosConstraint>& qos,
+             const AnnealOptions& opts, Rng rng)
 {
-    require(initial.valid(), "anneal: initial placement invalid");
-    require(opts.iterations >= 1, "anneal: iterations must be >= 1");
-    require(opts.t_start > 0.0 && opts.t_end > 0.0 &&
-                opts.t_end <= opts.t_start,
-            "anneal: bad temperature schedule");
-    if (qos) {
-        require(qos->instance >= 0 &&
-                    qos->instance < initial.num_instances(),
-                "anneal: QoS instance out of range");
-    }
-
     const double direction =
         goal == Goal::MinimizeTotalTime ? 1.0 : -1.0;
-    Rng rng(opts.seed);
 
-    Placement current = initial;
-    Score current_score = score_of(current, evaluator, qos);
-    Placement best = current;
+    DeltaScorer scorer(evaluator, initial, !opts.use_delta);
+    Score current_score = score_of(scorer, qos);
+    Placement best = scorer.placement();
     Score best_score = current_score;
 
-    const auto units = all_units(current);
+    const auto units = all_units(scorer.placement());
     const double cool =
         std::pow(opts.t_end / opts.t_start,
                  1.0 / static_cast<double>(opts.iterations));
@@ -99,14 +93,14 @@ anneal(Placement initial, const Evaluator& evaluator, Goal goal,
         for (int attempt = 0; attempt < 100 && !found; ++attempt) {
             a = units[rng.uniform_index(units.size())];
             b = units[rng.uniform_index(units.size())];
-            found = current.swap_is_valid(a.instance, a.unit,
-                                          b.instance, b.unit);
+            found = scorer.placement().swap_is_valid(
+                a.instance, a.unit, b.instance, b.unit);
         }
         if (!found)
             continue; // degenerate configuration; keep cooling
 
-        current.swap_units(a.instance, a.unit, b.instance, b.unit);
-        const Score cand = score_of(current, evaluator, qos);
+        scorer.apply(UnitSwap{a.instance, a.unit, b.instance, b.unit});
+        const Score cand = score_of(scorer, qos);
 
         // Scalarized objective: heavily penalized violation annealed
         // together with the (signed) total, so the search can cross
@@ -124,18 +118,91 @@ anneal(Placement initial, const Evaluator& evaluator, Goal goal,
             current_score = cand;
             ++accepted;
             if (cand.better_than(best_score, direction)) {
-                best = current;
+                best = scorer.placement();
                 best_score = cand;
             }
         } else {
-            current.swap_units(a.instance, a.unit, b.instance,
-                               b.unit); // revert
+            scorer.undo();
         }
     }
 
-    AnnealResult result{std::move(best), best_score.total,
-                        best_score.violation <= 0.0, accepted};
-    return result;
+    return ChainResult{std::move(best), best_score, accepted};
+}
+
+} // namespace
+
+AnnealResult
+anneal(Placement initial, const Evaluator& evaluator, Goal goal,
+       std::optional<QosConstraint> qos, const AnnealOptions& opts)
+{
+    require(initial.valid(), "anneal: initial placement invalid");
+    require(opts.iterations >= 1, "anneal: iterations must be >= 1");
+    require(opts.t_start > 0.0 && opts.t_end > 0.0 &&
+                opts.t_end <= opts.t_start,
+            "anneal: bad temperature schedule");
+    require(opts.chains >= 0, "anneal: chains must be >= 0");
+    if (qos) {
+        require(qos->instance >= 0 &&
+                    qos->instance < initial.num_instances(),
+                "anneal: QoS instance out of range");
+    }
+
+    int chains = opts.chains;
+    if (chains == 0) {
+        chains = static_cast<int>(std::thread::hardware_concurrency());
+        if (chains < 1)
+            chains = 1;
+    }
+
+    const double direction =
+        goal == Goal::MinimizeTotalTime ? 1.0 : -1.0;
+
+    std::vector<ChainResult> results;
+    if (chains == 1) {
+        results.push_back(anneal_chain(initial, evaluator, goal, qos,
+                                       opts, Rng(opts.seed)));
+    } else {
+        // Stream 0 equals the chains=1 stream, so the multi-chain
+        // result can never be worse than the single-chain one.
+        const auto streams = Rng(opts.seed).parallel_streams(chains);
+        results.resize(static_cast<std::size_t>(chains),
+                       ChainResult{initial, Score{}, 0});
+        std::vector<std::exception_ptr> errors(
+            static_cast<std::size_t>(chains));
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<std::size_t>(chains));
+        for (int c = 0; c < chains; ++c) {
+            workers.emplace_back([&, c] {
+                try {
+                    results[static_cast<std::size_t>(c)] =
+                        anneal_chain(initial, evaluator, goal, qos,
+                                     opts,
+                                     streams[static_cast<std::size_t>(
+                                         c)]);
+                } catch (...) {
+                    errors[static_cast<std::size_t>(c)] =
+                        std::current_exception();
+                }
+            });
+        }
+        for (auto& w : workers)
+            w.join();
+        for (const auto& e : errors) {
+            if (e)
+                std::rethrow_exception(e);
+        }
+    }
+
+    std::size_t winner = 0;
+    for (std::size_t c = 1; c < results.size(); ++c) {
+        if (results[c].score.better_than(results[winner].score,
+                                         direction))
+            winner = c;
+    }
+    auto& best = results[winner];
+    return AnnealResult{std::move(best.placement), best.score.total,
+                        best.score.violation <= 0.0, best.accepted,
+                        chains, static_cast<int>(winner)};
 }
 
 } // namespace imc::placement

@@ -44,7 +44,7 @@ struct QosConstraint {
 
 /** Annealing knobs. */
 struct AnnealOptions {
-    /** Proposed swaps. */
+    /** Proposed swaps (per chain). */
     int iterations = 4000;
     /** Initial Metropolis temperature (objective units). */
     double t_start = 1.0;
@@ -61,6 +61,23 @@ struct AnnealOptions {
     double qos_penalty = 100.0;
     /** RNG seed of the search. */
     std::uint64_t seed = 1;
+    /**
+     * Independent annealing chains run in parallel (std::thread), all
+     * starting from the initial placement with independent RNG
+     * streams; the best chain's result (violation-first) is returned.
+     * Chain 0's stream equals the chains=1 stream, so adding chains
+     * can only improve the returned objective. 0 = one chain per
+     * hardware thread.
+     */
+    int chains = 1;
+    /**
+     * Score proposals through the incremental delta path when the
+     * evaluator supports it (bit-identical results, one swap costs
+     * O(slots) re-predictions instead of O(instances)). Disable to
+     * force a full re-predict per proposal — the reference path
+     * bench/micro_annealer compares against.
+     */
+    bool use_delta = true;
 };
 
 /** Search outcome. */
@@ -71,8 +88,12 @@ struct AnnealResult {
     /** Whether the QoS constraint holds in `placement` (true when no
      *  constraint was given). */
     bool qos_met = true;
-    /** Accepted moves during the search. */
+    /** Accepted moves during the (winning chain's) search. */
     int accepted_moves = 0;
+    /** Chains actually run. */
+    int chains_run = 1;
+    /** Index of the chain that produced `placement`. */
+    int best_chain = 0;
 };
 
 /**

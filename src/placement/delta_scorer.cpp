@@ -1,0 +1,206 @@
+#include "placement/delta_scorer.hpp"
+
+#include <algorithm>
+
+#include "bubble/bubble.hpp"
+#include "common/error.hpp"
+
+namespace imc::placement {
+
+DeltaScorer::DeltaScorer(const Evaluator& evaluator, Placement placement,
+                         bool force_full)
+    : evaluator_(evaluator), placement_(std::move(placement)),
+      incremental_(!force_full && evaluator.supports_delta())
+{
+    require(placement_.valid(), "DeltaScorer: placement invalid");
+    if (!incremental_) {
+        times_ = evaluator_.predict(placement_);
+        return;
+    }
+    scores_ = evaluator_.scores();
+    require(scores_.size() ==
+                static_cast<std::size_t>(placement_.num_instances()),
+            "DeltaScorer: score count mismatch");
+
+    node_tenants_.resize(
+        static_cast<std::size_t>(placement_.num_nodes()));
+    for (int i = 0; i < placement_.num_instances(); ++i) {
+        const int units =
+            placement_.instances()[static_cast<std::size_t>(i)].units;
+        for (int u = 0; u < units; ++u) {
+            node_tenants_[static_cast<std::size_t>(
+                              placement_.node_of(i, u))]
+                .push_back(i);
+        }
+        sorted_nodes_.push_back(placement_.nodes_of(i));
+    }
+    // Instances were visited in ascending id, so every tenant list is
+    // already sorted — the order co_tenants() yields.
+    pressures_.resize(sorted_nodes_.size());
+    times_.resize(sorted_nodes_.size());
+    for (int i = 0; i < placement_.num_instances(); ++i)
+        rescore_instance(i);
+}
+
+double
+DeltaScorer::total_time() const
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < times_.size(); ++i)
+        total += times_[i] * placement_.instances()[i].units;
+    return total;
+}
+
+double
+DeltaScorer::pressure_at(int i, sim::NodeId node)
+{
+    partner_buf_.clear();
+    for (int other : node_tenants_[static_cast<std::size_t>(node)]) {
+        if (other != i)
+            partner_buf_.push_back(
+                scores_[static_cast<std::size_t>(other)]);
+    }
+    // Fast paths mirror combine_pressures exactly: no partner is
+    // pressure 0, a single positive partner is its own score.
+    if (partner_buf_.empty())
+        return 0.0;
+    if (partner_buf_.size() == 1)
+        return partner_buf_[0] > 0.0 ? partner_buf_[0] : 0.0;
+    return bubble::combine_pressures(partner_buf_);
+}
+
+void
+DeltaScorer::rescore_instance(int i)
+{
+    const auto idx = static_cast<std::size_t>(i);
+    auto& list = pressures_[idx];
+    list.clear();
+    for (sim::NodeId node : sorted_nodes_[idx])
+        list.push_back(pressure_at(i, node));
+    times_[idx] = evaluator_.predict_instance(i, list);
+}
+
+void
+DeltaScorer::apply(const UnitSwap& swap)
+{
+    if (!incremental_) {
+        last_.valid = true;
+        last_.swap = swap;
+        last_.times = times_;
+        placement_.swap_units(swap.instance_a, swap.unit_a,
+                              swap.instance_b, swap.unit_b);
+        times_ = evaluator_.predict(placement_);
+        return;
+    }
+
+    const sim::NodeId node_a =
+        placement_.node_of(swap.instance_a, swap.unit_a);
+    const sim::NodeId node_b =
+        placement_.node_of(swap.instance_b, swap.unit_b);
+    const auto na = static_cast<std::size_t>(node_a);
+    const auto nb = static_cast<std::size_t>(node_b);
+    const auto ia = static_cast<std::size_t>(swap.instance_a);
+    const auto ib = static_cast<std::size_t>(swap.instance_b);
+
+    last_.valid = true;
+    last_.swap = swap;
+    last_.node_a = node_a;
+    last_.node_b = node_b;
+    last_.tenants_a = node_tenants_[na];
+    last_.tenants_b = node_tenants_[nb];
+    last_.nodes_a = sorted_nodes_[ia];
+    last_.nodes_b = sorted_nodes_[ib];
+
+    placement_.swap_units(swap.instance_a, swap.unit_a,
+                          swap.instance_b, swap.unit_b);
+
+    // Instance a leaves node_a for node_b and vice versa; tenant
+    // lists stay sorted by erase+insert at the right position.
+    auto move_tenant = [](std::vector<int>& from, std::vector<int>& to,
+                          int instance) {
+        from.erase(std::find(from.begin(), from.end(), instance));
+        to.insert(std::lower_bound(to.begin(), to.end(), instance),
+                  instance);
+    };
+    move_tenant(node_tenants_[na], node_tenants_[nb], swap.instance_a);
+    move_tenant(node_tenants_[nb], node_tenants_[na], swap.instance_b);
+
+    // The two movers' sorted node lists change; everyone else's
+    // don't. Erase+insert keeps them sorted without reallocating.
+    auto move_node = [](std::vector<sim::NodeId>& nodes,
+                        sim::NodeId from, sim::NodeId to) {
+        nodes.erase(std::find(nodes.begin(), nodes.end(), from));
+        nodes.insert(std::upper_bound(nodes.begin(), nodes.end(), to),
+                     to);
+    };
+    move_node(sorted_nodes_[ia], node_a, node_b);
+    move_node(sorted_nodes_[ib], node_b, node_a);
+
+    // Affected = union of the two nodes' (post-swap) tenants; the
+    // movers are in it by construction.
+    last_.affected.clear();
+    last_.affected.insert(last_.affected.end(),
+                          node_tenants_[na].begin(),
+                          node_tenants_[na].end());
+    last_.affected.insert(last_.affected.end(),
+                          node_tenants_[nb].begin(),
+                          node_tenants_[nb].end());
+    std::sort(last_.affected.begin(), last_.affected.end());
+    last_.affected.erase(
+        std::unique(last_.affected.begin(), last_.affected.end()),
+        last_.affected.end());
+
+    // Snapshot the outgoing pressure lists, then re-score: the two
+    // movers get a full rebuild (their node lists changed); a
+    // bystander keeps its node list, so only its entries on the two
+    // swapped nodes are recomputed before re-predicting.
+    if (last_.pressures.size() < last_.affected.size())
+        last_.pressures.resize(last_.affected.size());
+    last_.times.clear();
+    for (std::size_t k = 0; k < last_.affected.size(); ++k) {
+        const int inst = last_.affected[k];
+        const auto i = static_cast<std::size_t>(inst);
+        last_.times.push_back(times_[i]);
+        if (inst == swap.instance_a || inst == swap.instance_b) {
+            std::swap(last_.pressures[k], pressures_[i]);
+            rescore_instance(inst);
+            continue;
+        }
+        auto& list = pressures_[i];
+        last_.pressures[k] = list; // copy into recycled buffer
+        const auto& nodes = sorted_nodes_[i];
+        for (std::size_t pos = 0; pos < nodes.size(); ++pos) {
+            if (nodes[pos] == node_a || nodes[pos] == node_b)
+                list[pos] = pressure_at(inst, nodes[pos]);
+        }
+        times_[i] = evaluator_.predict_instance(inst, list);
+    }
+}
+
+void
+DeltaScorer::undo()
+{
+    invariant(last_.valid, "DeltaScorer::undo: nothing to undo");
+    last_.valid = false;
+    placement_.swap_units(last_.swap.instance_a, last_.swap.unit_a,
+                          last_.swap.instance_b, last_.swap.unit_b);
+    if (!incremental_) {
+        std::swap(times_, last_.times);
+        return;
+    }
+    node_tenants_[static_cast<std::size_t>(last_.node_a)] =
+        last_.tenants_a;
+    node_tenants_[static_cast<std::size_t>(last_.node_b)] =
+        last_.tenants_b;
+    sorted_nodes_[static_cast<std::size_t>(last_.swap.instance_a)] =
+        last_.nodes_a;
+    sorted_nodes_[static_cast<std::size_t>(last_.swap.instance_b)] =
+        last_.nodes_b;
+    for (std::size_t k = 0; k < last_.affected.size(); ++k) {
+        const auto i = static_cast<std::size_t>(last_.affected[k]);
+        std::swap(pressures_[i], last_.pressures[k]);
+        times_[i] = last_.times[k];
+    }
+}
+
+} // namespace imc::placement

@@ -1,0 +1,118 @@
+#ifndef IMC_PLACEMENT_DELTA_SCORER_HPP
+#define IMC_PLACEMENT_DELTA_SCORER_HPP
+
+/**
+ * @file
+ * Stateful incremental scoring of a placement under unit swaps.
+ *
+ * The annealing and greedy searches mutate a placement one swap at a
+ * time; re-predicting every instance per proposal costs
+ * O(instances x nodes) even though a swap only perturbs the pressure
+ * lists of the instances sharing the two affected nodes. A DeltaScorer
+ * owns one placement plus per-node tenant lists, per-instance pressure
+ * lists and predictions, and keeps them in sync across apply()/undo():
+ * each swap re-scores at most 2 x slots_per_node instances.
+ *
+ * Invariant (the "delta invariant", see DESIGN.md): after every
+ * apply()/undo(), times() is bit-identical to
+ * evaluator.predict(placement()) — changed entries are recomputed from
+ * the same inputs through the same pure functions the full path uses,
+ * and unchanged entries cannot differ because a prediction depends
+ * only on its own instance's pressure list.
+ *
+ * Evaluators without delta support (supports_delta() == false) are
+ * handled by re-running the full predict() per apply(), so the search
+ * loops need only one code path.
+ */
+
+#include "placement/evaluator.hpp"
+
+namespace imc::placement {
+
+/** Incremental per-swap re-scoring session bound to one placement. */
+class DeltaScorer {
+  public:
+    /**
+     * @param evaluator  predictor (outlives this scorer)
+     * @param placement  valid starting placement (taken over)
+     * @param force_full bypass the incremental path and re-run the
+     *                   full predict() per swap even when the
+     *                   evaluator supports delta (reference/bench mode)
+     */
+    DeltaScorer(const Evaluator& evaluator, Placement placement,
+                bool force_full = false);
+
+    /** The placement this scorer tracks. */
+    const Placement& placement() const { return placement_; }
+
+    /** Current per-instance predictions (== predict(placement())). */
+    const std::vector<double>& times() const { return times_; }
+
+    /** Current prediction of one instance. */
+    double time_of(int instance) const
+    {
+        return times_.at(static_cast<std::size_t>(instance));
+    }
+
+    /**
+     * VM-weighted total normalized time, accumulated in instance
+     * order (bit-identical to Evaluator::total_time()).
+     */
+    double total_time() const;
+
+    /** Whether the incremental path is active. */
+    bool incremental() const { return incremental_; }
+
+    /**
+     * Apply a swap (must be swap_is_valid on placement()) and
+     * re-score the affected instances.
+     */
+    void apply(const UnitSwap& swap);
+
+    /**
+     * Revert the last applied swap, restoring placement and cached
+     * predictions. One level of undo; throws if nothing to undo.
+     */
+    void undo();
+
+  private:
+    /** Combined co-tenant pressure instance @p i sees on @p node. */
+    double pressure_at(int i, sim::NodeId node);
+
+    /** Rebuild pressures_[i] and times_[i] from node_tenants_. */
+    void rescore_instance(int i);
+
+    const Evaluator& evaluator_;
+    Placement placement_;
+    bool incremental_;
+    std::vector<double> scores_;
+    /** node -> instances with a unit there, ascending instance id. */
+    std::vector<std::vector<int>> node_tenants_;
+    /** Per instance: its nodes, sorted (pressure list order). */
+    std::vector<std::vector<sim::NodeId>> sorted_nodes_;
+    /** Per instance: pressure list aligned with sorted_nodes_. */
+    std::vector<std::vector<double>> pressures_;
+    std::vector<double> times_;
+    /** Scratch partner-score buffer (avoids per-node allocation). */
+    std::vector<double> partner_buf_;
+
+    /** Undo snapshot of the state the last apply() overwrote. */
+    struct Snapshot {
+        bool valid = false;
+        UnitSwap swap;
+        sim::NodeId node_a = -1;
+        sim::NodeId node_b = -1;
+        std::vector<int> tenants_a;
+        std::vector<int> tenants_b;
+        std::vector<sim::NodeId> nodes_a;
+        std::vector<sim::NodeId> nodes_b;
+        std::vector<int> affected;
+        std::vector<std::vector<double>> pressures;
+        std::vector<double> times;
+    };
+    Snapshot last_;
+};
+
+} // namespace imc::placement
+
+#endif // IMC_PLACEMENT_DELTA_SCORER_HPP

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "bubble/bubble.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 
@@ -17,6 +18,57 @@ Evaluator::total_time(const Placement& placement) const
                  placement.instances()[i].units;
     }
     return total;
+}
+
+const std::vector<double>&
+Evaluator::scores() const
+{
+    throw LogicBug("Evaluator::scores: delta path not supported");
+}
+
+double
+Evaluator::predict_instance(int, const std::vector<double>&) const
+{
+    throw LogicBug(
+        "Evaluator::predict_instance: delta path not supported");
+}
+
+std::vector<double>
+Evaluator::delta_predict(const Placement& placement,
+                         const UnitSwap& swap,
+                         std::vector<double> times) const
+{
+    if (!supports_delta())
+        return predict(placement);
+    require(times.size() ==
+                static_cast<std::size_t>(placement.num_instances()),
+            "delta_predict: baseline time count mismatch");
+    // Post-swap, the two swapped units sit on the two affected nodes,
+    // so both node ids are recoverable from the swap itself. Only
+    // instances with a unit on one of them can see a changed pressure
+    // entry; each such instance is re-scored from a pressure list
+    // rebuilt exactly as Placement::pressure_lists builds it, keeping
+    // the result bit-identical to a full predict().
+    const sim::NodeId node_a =
+        placement.node_of(swap.instance_a, swap.unit_a);
+    const sim::NodeId node_b =
+        placement.node_of(swap.instance_b, swap.unit_b);
+    const auto& bubble_scores = scores();
+    for (int i = 0; i < placement.num_instances(); ++i) {
+        if (!placement.occupies(i, node_a) &&
+            !placement.occupies(i, node_b))
+            continue;
+        std::vector<double> list;
+        for (sim::NodeId node : placement.nodes_of(i)) {
+            std::vector<double> partner_scores;
+            for (int other : placement.co_tenants(i, node))
+                partner_scores.push_back(
+                    bubble_scores[static_cast<std::size_t>(other)]);
+            list.push_back(bubble::combine_pressures(partner_scores));
+        }
+        times[static_cast<std::size_t>(i)] = predict_instance(i, list);
+    }
+    return times;
 }
 
 ModelEvaluator::ModelEvaluator(core::ModelRegistry& registry,
@@ -42,6 +94,14 @@ ModelEvaluator::predict(const Placement& placement) const
     return out;
 }
 
+double
+ModelEvaluator::predict_instance(
+    int instance, const std::vector<double>& pressures) const
+{
+    return models_.at(static_cast<std::size_t>(instance))
+        ->model.predict(pressures);
+}
+
 NaiveEvaluator::NaiveEvaluator(core::ModelRegistry& registry,
                                const std::vector<Instance>& instances)
 {
@@ -65,6 +125,15 @@ NaiveEvaluator::predict(const Placement& placement) const
             core::predict_naive(models_[i]->model.matrix(), lists[i]));
     }
     return out;
+}
+
+double
+NaiveEvaluator::predict_instance(
+    int instance, const std::vector<double>& pressures) const
+{
+    return core::predict_naive(
+        models_.at(static_cast<std::size_t>(instance))->model.matrix(),
+        pressures);
 }
 
 std::vector<double>

@@ -12,6 +12,12 @@
  * heterogeneity policy); NaiveEvaluator uses the naive proportional
  * model. measure_actual() runs a placement on the simulated cluster —
  * the "real machine" ground truth the paper's figures report.
+ *
+ * Both predictors also expose the *incremental* interface consumed by
+ * the search hot loops (DeltaScorer, annealer, greedy): a swap of two
+ * units only perturbs the pressure lists of instances touching the two
+ * affected nodes, so delta_predict() re-scores that handful of
+ * instances instead of the whole placement.
  */
 
 #include <memory>
@@ -21,6 +27,14 @@
 #include "placement/placement.hpp"
 
 namespace imc::placement {
+
+/** A swap of the node assignments of two units (the search move). */
+struct UnitSwap {
+    int instance_a = 0;
+    int unit_a = 0;
+    int instance_b = 0;
+    int unit_b = 0;
+};
 
 /** Scores a placement: per-instance predicted normalized times. */
 class Evaluator {
@@ -37,6 +51,48 @@ class Evaluator {
      * Lower is better.
      */
     double total_time(const Placement& placement) const;
+
+    /**
+     * True when this evaluator can re-score a single instance from an
+     * explicit pressure list (scores() and predict_instance() work),
+     * enabling the incremental delta path.
+     */
+    virtual bool supports_delta() const { return false; }
+
+    /**
+     * Per-instance bubble scores used to build pressure lists.
+     * @pre supports_delta()
+     */
+    virtual const std::vector<double>& scores() const;
+
+    /**
+     * Predicted normalized time of one instance under an explicit
+     * per-node pressure list (ordered like nodes_of(instance)).
+     * Must be a pure function of its arguments: the delta path relies
+     * on cached results being bit-identical to recomputed ones.
+     * @pre supports_delta()
+     */
+    virtual double
+    predict_instance(int instance,
+                     const std::vector<double>& pressures) const;
+
+    /**
+     * Incrementally updated predictions after a unit swap.
+     *
+     * Only instances with a unit on one of the two affected nodes are
+     * re-scored; everyone else's prediction is untouched — the delta
+     * invariant (see DESIGN.md). Falls back to a full predict() when
+     * supports_delta() is false.
+     *
+     * @param placement the placement with @p swap already applied
+     * @param swap      the swap that was applied
+     * @param times     predictions for the pre-swap placement
+     * @return          predictions for @p placement, bit-identical to
+     *                  a fresh predict(placement)
+     */
+    std::vector<double> delta_predict(const Placement& placement,
+                                      const UnitSwap& swap,
+                                      std::vector<double> times) const;
 };
 
 /** Full interference-model predictor. */
@@ -53,8 +109,17 @@ class ModelEvaluator : public Evaluator {
     std::vector<double>
     predict(const Placement& placement) const override;
 
+    bool supports_delta() const override { return true; }
+
     /** The per-instance bubble scores used for pressure lists. */
-    const std::vector<double>& scores() const { return scores_; }
+    const std::vector<double>& scores() const override
+    {
+        return scores_;
+    }
+
+    double
+    predict_instance(int instance,
+                     const std::vector<double>& pressures) const override;
 
   private:
     std::vector<const core::BuiltModel*> models_;
@@ -69,6 +134,17 @@ class NaiveEvaluator : public Evaluator {
 
     std::vector<double>
     predict(const Placement& placement) const override;
+
+    bool supports_delta() const override { return true; }
+
+    const std::vector<double>& scores() const override
+    {
+        return scores_;
+    }
+
+    double
+    predict_instance(int instance,
+                     const std::vector<double>& pressures) const override;
 
   private:
     std::vector<const core::BuiltModel*> models_;

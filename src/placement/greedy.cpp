@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "placement/delta_scorer.hpp"
 
 namespace imc::placement {
 
@@ -14,16 +15,13 @@ struct Score {
 };
 
 Score
-score_of(const Placement& placement, const Evaluator& evaluator,
+score_of(const DeltaScorer& scorer,
          const std::optional<QosConstraint>& qos)
 {
-    const auto times = evaluator.predict(placement);
     Score s;
-    for (std::size_t i = 0; i < times.size(); ++i)
-        s.total += times[i] * placement.instances()[i].units;
+    s.total = scorer.total_time();
     if (qos) {
-        const double t =
-            times.at(static_cast<std::size_t>(qos->instance));
+        const double t = scorer.time_of(qos->instance);
         s.violation = std::max(0.0, t - qos->max_norm_time);
     }
     return s;
@@ -66,9 +64,9 @@ greedy_search(Placement initial, const Evaluator& evaluator, Goal goal,
         goal == Goal::MinimizeTotalTime ? 1.0 : -1.0;
     Rng rng(opts.seed);
 
-    Placement current = std::move(initial);
-    Score current_score = score_of(current, evaluator, qos);
-    const auto units = all_units(current);
+    DeltaScorer scorer(evaluator, std::move(initial));
+    Score current_score = score_of(scorer, qos);
+    const auto units = all_units(scorer.placement());
     int accepted = 0;
 
     for (int iter = 0; iter < opts.iterations; ++iter) {
@@ -78,13 +76,13 @@ greedy_search(Placement initial, const Evaluator& evaluator, Goal goal,
         for (int attempt = 0; attempt < 100 && !found; ++attempt) {
             a = units[rng.uniform_index(units.size())];
             b = units[rng.uniform_index(units.size())];
-            found = current.swap_is_valid(a.instance, a.unit,
-                                          b.instance, b.unit);
+            found = scorer.placement().swap_is_valid(
+                a.instance, a.unit, b.instance, b.unit);
         }
         if (!found)
             continue;
-        current.swap_units(a.instance, a.unit, b.instance, b.unit);
-        const Score cand = score_of(current, evaluator, qos);
+        scorer.apply(UnitSwap{a.instance, a.unit, b.instance, b.unit});
+        const Score cand = score_of(scorer, qos);
 
         // The paper's rule: take the swap only if it helps — first the
         // QoS constraint, then the total time.
@@ -99,10 +97,10 @@ greedy_search(Placement initial, const Evaluator& evaluator, Goal goal,
             current_score = cand;
             ++accepted;
         } else {
-            current.swap_units(a.instance, a.unit, b.instance, b.unit);
+            scorer.undo();
         }
     }
-    return AnnealResult{std::move(current), current_score.total,
+    return AnnealResult{scorer.placement(), current_score.total,
                         current_score.violation <= 0.0, accepted};
 }
 

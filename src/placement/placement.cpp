@@ -122,6 +122,13 @@ Placement::co_tenants(int instance, sim::NodeId node) const
     return out;
 }
 
+bool
+Placement::occupies(int instance, sim::NodeId node) const
+{
+    const auto& units = assignment_.at(static_cast<std::size_t>(instance));
+    return std::find(units.begin(), units.end(), node) != units.end();
+}
+
 std::vector<std::vector<double>>
 Placement::pressure_lists(const std::vector<double>& scores) const
 {

@@ -81,6 +81,9 @@ class Placement {
     /** Instances (other than @p instance) with a unit on @p node. */
     std::vector<int> co_tenants(int instance, sim::NodeId node) const;
 
+    /** True when @p instance has a unit assigned to @p node. */
+    bool occupies(int instance, sim::NodeId node) const;
+
     /**
      * Per-node interference pressure lists for every instance: entry
      * [i][k] is the summed bubble score of the other instances

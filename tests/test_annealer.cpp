@@ -46,9 +46,37 @@ class FakeEvaluator : public Evaluator {
         return out;
     }
 
-  private:
+  protected:
     std::vector<double> scores_;
     std::vector<double> sensitivity_;
+};
+
+/**
+ * FakeEvaluator with the incremental hooks implemented, so the search
+ * takes the delta path. Predictions are identical to the base class:
+ * the per-instance model is a pure function of the pressure list.
+ */
+class DeltaFakeEvaluator : public FakeEvaluator {
+  public:
+    using FakeEvaluator::FakeEvaluator;
+
+    bool supports_delta() const override { return true; }
+
+    const std::vector<double>& scores() const override
+    {
+        return scores_;
+    }
+
+    double
+    predict_instance(int instance,
+                     const std::vector<double>& pressures) const override
+    {
+        double sum = 0.0;
+        for (double p : pressures)
+            sum += p;
+        return 1.0 +
+               sensitivity_[static_cast<std::size_t>(instance)] * sum;
+    }
 };
 
 std::vector<Instance>
@@ -166,6 +194,151 @@ TEST(Annealer, DeterministicGivenSeed)
     EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
 }
 
+TEST(Annealer, DeltaPathReproducesFullPathBitForBit)
+{
+    // The same trajectory must emerge whether predictions come from
+    // the incremental path (delta evaluator, use_delta on), the
+    // forced-full path (use_delta off), or an evaluator without delta
+    // support at all — the delta invariant at the search level.
+    const DeltaFakeEvaluator delta_eval({2.0, 3.0, 1.0, 5.0},
+                                        {0.05, 0.04, 0.01, 0.03});
+    const FakeEvaluator plain_eval({2.0, 3.0, 1.0, 5.0},
+                                   {0.05, 0.04, 0.01, 0.03});
+    Rng rng(17);
+    auto initial = Placement::random(
+        four_instances(), sim::ClusterSpec::private8(), rng);
+    AnnealOptions opts;
+    opts.iterations = 800;
+    opts.seed = 29;
+    AnnealOptions full = opts;
+    full.use_delta = false;
+
+    const auto a = anneal(initial, delta_eval,
+                          Goal::MinimizeTotalTime, std::nullopt, opts);
+    const auto b = anneal(initial, delta_eval,
+                          Goal::MinimizeTotalTime, std::nullopt, full);
+    const auto c = anneal(initial, plain_eval,
+                          Goal::MinimizeTotalTime, std::nullopt, opts);
+    EXPECT_EQ(a.placement.to_string(), b.placement.to_string());
+    EXPECT_EQ(a.placement.to_string(), c.placement.to_string());
+    EXPECT_EQ(a.total_time, b.total_time); // bitwise, not just close
+    EXPECT_EQ(a.total_time, c.total_time);
+    EXPECT_EQ(a.accepted_moves, b.accepted_moves);
+    EXPECT_EQ(a.accepted_moves, c.accepted_moves);
+}
+
+TEST(Annealer, SingleChainOptionReproducesDefaultBitForBit)
+{
+    const DeltaFakeEvaluator eval({2.0, 3.0, 1.0, 5.0},
+                                  {0.05, 0.04, 0.01, 0.03});
+    Rng rng(8);
+    auto initial = Placement::random(
+        four_instances(), sim::ClusterSpec::private8(), rng);
+    AnnealOptions opts;
+    opts.iterations = 500;
+    opts.seed = 77;
+    ASSERT_EQ(opts.chains, 1); // the default IS single-chain
+    const auto a = anneal(initial, eval, Goal::MinimizeTotalTime,
+                          std::nullopt, opts);
+    const auto b = anneal(initial, eval, Goal::MinimizeTotalTime,
+                          std::nullopt, opts);
+    EXPECT_EQ(a.placement.to_string(), b.placement.to_string());
+    EXPECT_EQ(a.total_time, b.total_time);
+    EXPECT_EQ(a.chains_run, 1);
+    EXPECT_EQ(a.best_chain, 0);
+}
+
+TEST(Annealer, MultiChainNeverWorseThanSingleChain)
+{
+    const DeltaFakeEvaluator eval({1.0, 4.0, 1.0, 8.0},
+                                  {0.08, 0.01, 0.0, 0.02});
+    Rng rng(12);
+    for (int trial = 0; trial < 4; ++trial) {
+        auto initial = Placement::random(
+            four_instances(), sim::ClusterSpec::private8(), rng);
+        AnnealOptions opts;
+        opts.iterations = 400;
+        opts.seed = static_cast<std::uint64_t>(100 + trial);
+        const auto single = anneal(initial, eval,
+                                   Goal::MinimizeTotalTime,
+                                   std::nullopt, opts);
+        AnnealOptions multi = opts;
+        multi.chains = 4;
+        const auto best = anneal(initial, eval,
+                                 Goal::MinimizeTotalTime, std::nullopt,
+                                 multi);
+        EXPECT_EQ(best.chains_run, 4);
+        // Chain 0 draws the exact single-chain stream, so the
+        // best-of-chains objective can only improve on it.
+        EXPECT_LE(best.total_time, single.total_time + 1e-12);
+    }
+}
+
+TEST(Annealer, MultiChainDeterministicGivenSeed)
+{
+    const DeltaFakeEvaluator eval({2.0, 3.0, 1.0, 5.0},
+                                  {0.05, 0.04, 0.01, 0.03});
+    Rng rng(9);
+    auto initial = Placement::random(
+        four_instances(), sim::ClusterSpec::private8(), rng);
+    AnnealOptions opts;
+    opts.iterations = 400;
+    opts.seed = 55;
+    opts.chains = 3;
+    const auto a = anneal(initial, eval, Goal::MinimizeTotalTime,
+                          std::nullopt, opts);
+    const auto b = anneal(initial, eval, Goal::MinimizeTotalTime,
+                          std::nullopt, opts);
+    EXPECT_EQ(a.placement.to_string(), b.placement.to_string());
+    EXPECT_EQ(a.total_time, b.total_time);
+    EXPECT_EQ(a.best_chain, b.best_chain);
+}
+
+TEST(Annealer, MultiChainNeverAbandonsSatisfiedQos)
+{
+    // Same setup as QosConstraintHonored: single-chain meets the
+    // constraint, so violation-first selection across chains must
+    // never return a violating placement.
+    const DeltaFakeEvaluator eval({1.0, 4.0, 1.0, 8.0},
+                                  {0.05, 0.01, 0.0, 0.01});
+    Rng rng(33);
+    auto initial = Placement::random(
+        four_instances(), sim::ClusterSpec::private8(), rng);
+    AnnealOptions opts;
+    opts.iterations = 4000;
+    opts.seed = 3;
+    QosConstraint qos{0, 1.25};
+    const auto single = anneal(initial, eval,
+                               Goal::MinimizeTotalTime, qos, opts);
+    ASSERT_TRUE(single.qos_met);
+    AnnealOptions multi = opts;
+    multi.chains = 4;
+    const auto best = anneal(initial, eval, Goal::MinimizeTotalTime,
+                             qos, multi);
+    ASSERT_TRUE(best.qos_met);
+    EXPECT_LE(eval.predict(best.placement)[0], 1.25 + 1e-9);
+    EXPECT_LE(best.total_time, single.total_time + 1e-12);
+}
+
+TEST(Annealer, AutoChainsRunsOnePerHardwareThread)
+{
+    const DeltaFakeEvaluator eval({2.0, 3.0, 1.0, 5.0},
+                                  {0.05, 0.04, 0.01, 0.03});
+    Rng rng(14);
+    auto initial = Placement::random(
+        four_instances(), sim::ClusterSpec::private8(), rng);
+    AnnealOptions opts;
+    opts.iterations = 200;
+    opts.seed = 61;
+    opts.chains = 0; // auto
+    const auto result = anneal(initial, eval, Goal::MinimizeTotalTime,
+                               std::nullopt, opts);
+    ASSERT_TRUE(result.placement.valid());
+    EXPECT_GE(result.chains_run, 1);
+    EXPECT_GE(result.best_chain, 0);
+    EXPECT_LT(result.best_chain, result.chains_run);
+}
+
 TEST(Annealer, ValidatesInputs)
 {
     const FakeEvaluator eval({1, 1, 1, 1}, {0, 0, 0, 0});
@@ -186,5 +359,10 @@ TEST(Annealer, ValidatesInputs)
     QosConstraint out_of_range{9, 1.25};
     EXPECT_THROW(anneal(initial, eval, Goal::MinimizeTotalTime,
                         out_of_range, opts),
+                 ConfigError);
+    AnnealOptions negative_chains = opts;
+    negative_chains.chains = -1;
+    EXPECT_THROW(anneal(initial, eval, Goal::MinimizeTotalTime,
+                        std::nullopt, negative_chains),
                  ConfigError);
 }

@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "sim/event_queue.hpp"
 
 using namespace imc::sim;
@@ -112,4 +114,86 @@ TEST(EventQueue, ExecutedCountsOnlyRealRuns)
     while (q.pop_and_run()) {
     }
     EXPECT_EQ(q.executed(), 1u);
+}
+
+TEST(EventQueue, RandomizedInterleavingMatchesOrderedOracle)
+{
+    // 10k randomized schedule/pop/cancel operations checked against a
+    // std::multimap oracle keyed by (time, insertion seq) — the exact
+    // order the queue promises, including FIFO tie-breaking.
+    EventQueue q;
+    // (time, insertion seq) -> {queue id, callback token}; seq
+    // increases monotonically, so map order within a time bucket is
+    // the FIFO order the queue promises.
+    struct Pending {
+        EventId id;
+        std::uint64_t token;
+    };
+    std::multimap<std::pair<double, std::uint64_t>, Pending> oracle;
+    std::vector<std::uint64_t> fired;
+    std::vector<EventId> cancellable;
+    imc::Rng rng(20260805);
+    std::uint64_t seq = 0;
+    std::uint64_t expected_executed = 0;
+
+    // A small time grid forces heavy ties; schedule/pop/cancel are
+    // weighted 5/3/2.
+    for (int op = 0; op < 10000; ++op) {
+        const auto kind = rng.uniform_index(10);
+        if (kind < 5) {
+            const double when =
+                q.now() +
+                static_cast<double>(rng.uniform_index(4)); // may tie
+            const std::uint64_t token = seq;
+            const EventId id = q.schedule_at(
+                when, [&fired, token] { fired.push_back(token); });
+            oracle.emplace(std::make_pair(when, seq++),
+                           Pending{id, token});
+            cancellable.push_back(id);
+        } else if (kind < 8) {
+            ASSERT_EQ(q.size(), oracle.size());
+            if (oracle.empty()) {
+                EXPECT_FALSE(q.pop_and_run());
+                continue;
+            }
+            const auto next = oracle.begin();
+            const double when = next->first.first;
+            const std::uint64_t expect_token = next->second.token;
+            oracle.erase(next);
+            const std::size_t before = fired.size();
+            ASSERT_TRUE(q.pop_and_run());
+            ++expected_executed;
+            ASSERT_EQ(fired.size(), before + 1);
+            EXPECT_EQ(fired.back(), expect_token);
+            EXPECT_DOUBLE_EQ(q.now(), when);
+        } else {
+            if (cancellable.empty())
+                continue;
+            const auto pick = rng.uniform_index(cancellable.size());
+            const EventId id = cancellable[pick];
+            cancellable.erase(cancellable.begin() +
+                              static_cast<std::ptrdiff_t>(pick));
+            q.cancel(id); // may already have fired: harmless no-op
+            for (auto it = oracle.begin(); it != oracle.end(); ++it) {
+                if (it->second.id == id) {
+                    oracle.erase(it);
+                    break;
+                }
+            }
+        }
+        ASSERT_EQ(q.size(), oracle.size());
+        ASSERT_EQ(q.empty(), oracle.empty());
+        ASSERT_EQ(q.executed(), expected_executed);
+    }
+
+    // Drain: the remaining events must come out in oracle order.
+    while (!oracle.empty()) {
+        const auto next = oracle.begin();
+        const std::uint64_t expect_token = next->second.token;
+        oracle.erase(next);
+        ASSERT_TRUE(q.pop_and_run());
+        EXPECT_EQ(fired.back(), expect_token);
+    }
+    EXPECT_FALSE(q.pop_and_run());
+    EXPECT_TRUE(q.empty());
 }
