@@ -44,7 +44,9 @@ main(int argc, char** argv)
               << ", train=" << train << " observations, eval="
               << eval_n << ", seed=" << cfg.seed << ")\n\n";
 
-    core::ModelRegistry registry(cfg, core::ModelBuildOptions{});
+    const auto service = benchutil::service_from_cli(cli);
+    core::ModelRegistry registry(cfg, core::ModelBuildOptions{},
+                                 service.get());
     const auto nodes = workload::all_nodes(cfg.cluster);
     const int m = cfg.cluster.num_nodes;
 
@@ -64,32 +66,40 @@ main(int argc, char** argv)
         const std::vector<double> pressures(
             static_cast<std::size_t>(m), gems_score);
 
+        // The whole observation stream (solo baseline + every train
+        // and eval co-run) is one batch; the refiner then consumes it
+        // strictly in stream order, so the online state evolves
+        // exactly as it would observing run by run.
+        std::vector<workload::RunRequest> reqs;
         workload::RunConfig solo_cfg = cfg;
         solo_cfg.salt = hash_string("online-solo:" + abbrev);
         solo_cfg.reps = 3;
-        const double solo =
-            workload::run_solo_time(app, nodes, solo_cfg);
-
-        auto observe_once = [&](int index) {
+        reqs.push_back(
+            workload::solo_time_request(app, nodes, solo_cfg));
+        for (int i = 0; i < train + eval_n; ++i) {
             workload::RunConfig run_cfg = cfg;
             run_cfg.salt = hash_combine(
                 hash_string("online:" + abbrev),
-                static_cast<std::uint64_t>(index));
-            return workload::run_corun_time(
-                       app, nodes,
-                       {workload::Deployment{gems, nodes}}, run_cfg) /
-                   solo;
+                static_cast<std::uint64_t>(i));
+            reqs.push_back(workload::corun_time_request(
+                app, nodes, {workload::Deployment{gems, nodes}},
+                run_cfg));
+        }
+        const auto times = service->run_all(reqs);
+        const double solo = times[0];
+        const auto observation = [&](int index) {
+            return times[static_cast<std::size_t>(index) + 1] / solo;
         };
 
         // Train.
         for (int i = 0; i < train; ++i)
-            refiner.observe(pressures, observe_once(i));
+            refiner.observe(pressures, observation(i));
 
         // Evaluate on fresh runs.
         OnlineStats static_err;
         OnlineStats refined_err;
         for (int i = 0; i < eval_n; ++i) {
-            const double actual = observe_once(train + i);
+            const double actual = observation(train + i);
             static_err.add(abs_pct_error(
                 refiner.predict_static(pressures), actual));
             refined_err.add(

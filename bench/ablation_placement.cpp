@@ -42,7 +42,9 @@ main(int argc, char** argv)
               << cfg.cluster.name << ", seed=" << cfg.seed
               << ", reps=" << cfg.reps << ")\n\n";
 
-    core::ModelRegistry registry(cfg, core::ModelBuildOptions{});
+    const auto service = benchutil::service_from_cli(cli);
+    core::ModelRegistry registry(cfg, core::ModelBuildOptions{},
+                                 service.get());
 
     Table table({"mix", "signatures", "exact best", "exact worst",
                  "SA@250", "SA@1000", "SA@4000", "SA hit optimum?"});

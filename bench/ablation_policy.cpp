@@ -30,6 +30,7 @@ main(int argc, char** argv)
     const int samples = cli.get_int("samples", 40);
     const auto apps = benchutil::apps_from_cli(cli);
     const auto nodes = workload::all_nodes(cfg.cluster);
+    const auto service = benchutil::service_from_cli(cli);
 
     std::cout << "Ablation: forced single policy vs per-app selection\n"
               << "(cluster=" << cfg.cluster.name
@@ -43,11 +44,15 @@ main(int argc, char** argv)
     for (const auto& app : apps) {
         ProfileOptions popts;
         popts.hosts = cfg.cluster.num_nodes;
+        popts.row_tasks = service->threads();
         CountingMeasure measure(
-            make_cluster_measure(app, nodes, cfg, popts.grid));
+            make_cluster_measure(app, nodes, cfg, popts.grid,
+                                 *service),
+            make_cluster_prefetch(app, nodes, cfg, popts.grid,
+                                  *service));
         const auto profile = profile_exhaustive(measure, popts);
         const auto hetero =
-            make_cluster_hetero_measure(app, nodes, cfg);
+            make_cluster_hetero_measure(app, nodes, cfg, *service);
         const auto fits = evaluate_policies(
             profile.matrix, hetero, cfg.cluster.num_nodes, samples,
             Rng(hash_combine(cfg.seed,

@@ -16,6 +16,13 @@ config_from_cli(const Cli& cli, bool ec2)
     return cfg;
 }
 
+std::unique_ptr<workload::RunService>
+service_from_cli(const Cli& cli, int default_threads)
+{
+    return std::make_unique<workload::RunService>(
+        cli.get_int("threads", default_threads));
+}
+
 std::vector<workload::AppSpec>
 apps_from_cli(const Cli& cli)
 {
@@ -30,18 +37,36 @@ apps_from_cli(const Cli& cli)
 
 std::vector<AlgoOutcome>
 profiling_campaign(const workload::AppSpec& app,
-                   const workload::RunConfig& cfg, double epsilon)
+                   const workload::RunConfig& cfg, double epsilon,
+                   workload::RunService* service)
 {
     const auto nodes = workload::all_nodes(cfg.cluster);
     core::ProfileOptions opts;
     opts.hosts = cfg.cluster.num_nodes;
     opts.epsilon = epsilon;
+    if (service)
+        opts.row_tasks = service->threads();
 
-    // Exhaustive ground truth (cached measures shared per algorithm
-    // run would couple the cost accounting, so each algorithm gets a
-    // fresh counting wrapper over the same deterministic measure).
-    core::CountingMeasure truth_measure(
-        core::make_cluster_measure(app, nodes, cfg, opts.grid));
+    // Each algorithm gets a fresh counting wrapper (shared cached
+    // measures would couple the cost accounting), all backed by the
+    // same deterministic leaf runs — via the shared service when one
+    // is given, whose cache then deduplicates the settings the
+    // algorithms re-measure.
+    const auto fresh_measure = [&] {
+        return service
+                   ? core::CountingMeasure(
+                         core::make_cluster_measure(app, nodes, cfg,
+                                                    opts.grid,
+                                                    *service),
+                         core::make_cluster_prefetch(app, nodes, cfg,
+                                                     opts.grid,
+                                                     *service))
+                   : core::CountingMeasure(core::make_cluster_measure(
+                         app, nodes, cfg, opts.grid));
+    };
+
+    // Exhaustive ground truth.
+    core::CountingMeasure truth_measure = fresh_measure();
     const auto truth = core::profile_exhaustive(truth_measure, opts);
 
     std::vector<AlgoOutcome> out;
@@ -50,8 +75,7 @@ profiling_campaign(const workload::AppSpec& app,
           core::ProfileAlgorithm::BinaryBrute,
           core::ProfileAlgorithm::Random50,
           core::ProfileAlgorithm::Random30}) {
-        core::CountingMeasure measure(
-            core::make_cluster_measure(app, nodes, cfg, opts.grid));
+        core::CountingMeasure measure = fresh_measure();
         const auto result = core::run_profiler(
             algorithm, measure, opts,
             hash_combine(cfg.seed,
@@ -76,14 +100,42 @@ validate_pairwise(core::ModelRegistry& registry,
     const auto nodes = workload::all_nodes(cfg.cluster);
     const int m = cfg.cluster.num_nodes;
     const auto& target_model = registry.model(target, m);
+    // Distinct co-runner models can profile concurrently.
+    if (auto* service = registry.service();
+        service && service->threads() > 1)
+        registry.prefetch(corunners, m);
 
+    // One batch: the target's solo baseline plus its co-run with every
+    // co-runner. With a multi-threaded registry service the whole
+    // validation row measures concurrently; the samples are
+    // bit-identical either way.
+    std::vector<workload::RunRequest> reqs;
+    reqs.reserve(corunners.size() + 1);
     workload::RunConfig solo_cfg = cfg;
     solo_cfg.salt = hash_string("validate-solo:" + target.abbrev);
-    const double solo =
-        workload::run_solo_time(target, nodes, solo_cfg);
+    reqs.push_back(
+        workload::solo_time_request(target, nodes, solo_cfg));
+    for (const auto& corunner : corunners) {
+        workload::RunConfig corun_cfg = cfg;
+        corun_cfg.salt = hash_string("validate:" + target.abbrev +
+                                     "/" + corunner.abbrev);
+        reqs.push_back(workload::corun_time_request(
+            target, nodes, {workload::Deployment{corunner, nodes}},
+            corun_cfg));
+    }
+    std::vector<double> times;
+    if (auto* service = registry.service()) {
+        times = service->run_all(reqs);
+    } else {
+        times.reserve(reqs.size());
+        for (const auto& req : reqs)
+            times.push_back(workload::execute_request(req));
+    }
+    const double solo = times[0];
 
     std::vector<ValidationSample> out;
-    for (const auto& corunner : corunners) {
+    for (std::size_t i = 0; i < corunners.size(); ++i) {
+        const auto& corunner = corunners[i];
         const double score =
             registry.model(corunner, m).model.bubble_score();
         const std::vector<double> pressures(
@@ -92,15 +144,7 @@ validate_pairwise(core::ModelRegistry& registry,
         sample.target = target.abbrev;
         sample.corunner = corunner.abbrev;
         sample.predicted = target_model.model.predict(pressures);
-
-        workload::RunConfig corun_cfg = cfg;
-        corun_cfg.salt = hash_string("validate:" + target.abbrev +
-                                     "/" + corunner.abbrev);
-        sample.actual =
-            workload::run_corun_time(
-                target, nodes,
-                {workload::Deployment{corunner, nodes}}, corun_cfg) /
-            solo;
+        sample.actual = times[i + 1] / solo;
         sample.error_pct = abs_pct_error(sample.predicted,
                                          sample.actual);
         out.push_back(sample);

@@ -9,12 +9,14 @@
  * (Figs. 8-9 and 13).
  */
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "core/registry.hpp"
 #include "workload/catalog.hpp"
+#include "workload/run_service.hpp"
 #include "workload/runner.hpp"
 
 namespace imc::benchutil {
@@ -22,6 +24,15 @@ namespace imc::benchutil {
 /** Build a RunConfig from --seed/--reps (and --ec2 for the profile). */
 workload::RunConfig config_from_cli(const Cli& cli,
                                     bool ec2 = false);
+
+/**
+ * Measurement backend from --threads. The recorded figure benches
+ * default to 1 (inline serial execution, byte-identical output to the
+ * pre-service harnesses); pass 0 to default to hardware concurrency
+ * (the examples do). All results are bit-identical at any setting.
+ */
+std::unique_ptr<workload::RunService>
+service_from_cli(const Cli& cli, int default_threads = 1);
 
 /** Apps selected by --apps, defaulting to all distributed apps. */
 std::vector<workload::AppSpec> apps_from_cli(const Cli& cli);
@@ -39,10 +50,17 @@ struct AlgoOutcome {
  * Run every profiling algorithm (binary-optimized, binary-brute,
  * random-50%, random-30%) against one application and compare with
  * the exhaustively measured matrix.
+ *
+ * With a @p service the campaign batches each algorithm's settings
+ * and runs rows concurrently; the service's content-addressed cache
+ * also deduplicates the cluster runs the five algorithms share (each
+ * algorithm keeps its own cost accounting, as before). Outcomes are
+ * bit-identical with and without a service.
  */
 std::vector<AlgoOutcome>
 profiling_campaign(const workload::AppSpec& app,
-                   const workload::RunConfig& cfg, double epsilon);
+                   const workload::RunConfig& cfg, double epsilon,
+                   workload::RunService* service = nullptr);
 
 /** One co-run validation sample. */
 struct ValidationSample {

@@ -36,13 +36,14 @@ main(int argc, char** argv)
               << ", seed=" << cfg.seed << ", reps=" << cfg.reps
               << ")\n\n";
 
+    // One batch: the solo baseline plus every co-run point (libquantum
+    // restarts on j nodes until lammps finishes).
+    const auto service = benchutil::service_from_cli(cli);
+    std::vector<workload::RunRequest> reqs;
     workload::RunConfig solo_cfg = cfg;
     solo_cfg.salt = hash_string("fig02-solo");
-    const double solo =
-        workload::run_solo_time(lammps, nodes, solo_cfg);
-
-    // Real runs: libquantum restarts on j nodes until lammps finishes.
-    std::vector<double> real(static_cast<std::size_t>(m) + 1, 1.0);
+    reqs.push_back(
+        workload::solo_time_request(lammps, nodes, solo_cfg));
     for (int j = 1; j <= m; ++j) {
         std::vector<sim::NodeId> libq_nodes;
         for (int n = 0; n < j; ++n)
@@ -50,12 +51,17 @@ main(int argc, char** argv)
         workload::RunConfig corun_cfg = cfg;
         corun_cfg.salt = hash_combine(hash_string("fig02"),
                                       static_cast<std::uint64_t>(j));
-        real[static_cast<std::size_t>(j)] =
-            workload::run_corun_time(
-                lammps, nodes,
-                {workload::Deployment{libq, libq_nodes}}, corun_cfg) /
-            solo;
+        reqs.push_back(workload::corun_time_request(
+            lammps, nodes, {workload::Deployment{libq, libq_nodes}},
+            corun_cfg));
     }
+    const auto times = service->run_all(reqs);
+    const double solo = times[0];
+
+    std::vector<double> real(static_cast<std::size_t>(m) + 1, 1.0);
+    for (int j = 1; j <= m; ++j)
+        real[static_cast<std::size_t>(j)] =
+            times[static_cast<std::size_t>(j)] / solo;
 
     // Naive proportional expectation: interference on j of m nodes
     // contributes j/m of the all-node slowdown.

@@ -20,11 +20,13 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/chart.hpp"
 #include "common/cli.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "workload/catalog.hpp"
+#include "workload/run_service.hpp"
 #include "workload/runner.hpp"
 
 using namespace imc;
@@ -54,6 +56,7 @@ main(int argc, char** argv)
 
     const auto nodes = workload::all_nodes(cfg.cluster);
     const int m = cfg.cluster.num_nodes;
+    const auto service = benchutil::service_from_cli(cli);
 
     std::cout << "Figure 3: interference propagation "
               << "(cluster=" << cfg.cluster.name
@@ -70,14 +73,30 @@ main(int argc, char** argv)
         for (int p : pressures)
             series.push_back(chart.add_series("P" + std::to_string(p)));
 
-        for (std::size_t pi = 0; pi < pressures.size(); ++pi) {
-            const int p = pressures[pi];
+        // The full sweep is one batch: the solo baseline plus one
+        // loaded run per (pressure, interfering-node count) point.
+        // The service deduplicates repeats (every j == 0 point is the
+        // solo run) and, with --threads > 1, measures points
+        // concurrently — the curves are bit-identical either way.
+        std::vector<workload::RunRequest> reqs;
+        reqs.push_back(workload::solo_time_request(app, nodes, cfg));
+        for (int p : pressures) {
             for (int j = 0; j <= m; ++j) {
                 std::vector<double> vec(static_cast<std::size_t>(m), 0.0);
                 for (int n = 0; n < j; ++n)
                     vec[static_cast<std::size_t>(n)] = p;
-                const double t =
-                    workload::run_with_bubbles_norm(app, nodes, vec, cfg);
+                reqs.push_back(workload::app_time_request(
+                    app, nodes, workload::bubble_tenants(vec), cfg));
+            }
+        }
+        const auto times = service->run_all(reqs);
+        const double solo = times[0];
+
+        std::size_t k = 1;
+        for (std::size_t pi = 0; pi < pressures.size(); ++pi) {
+            const int p = pressures[pi];
+            for (int j = 0; j <= m; ++j) {
+                const double t = times[k++] / solo;
                 chart.add_point(series[pi], j, t);
                 csv.add_row({abbrev, std::to_string(p),
                              std::to_string(j), fmt_fixed(t, 4)});

@@ -24,6 +24,7 @@ main(int argc, char** argv)
     const auto cfg = benchutil::config_from_cli(cli);
     const double epsilon = cli.get_double("epsilon", 0.05);
     const auto apps = benchutil::apps_from_cli(cli);
+    const auto service = benchutil::service_from_cli(cli);
 
     std::cout << "Figure 6: prediction errors with four profiling "
                  "techniques\n(cluster="
@@ -34,7 +35,8 @@ main(int argc, char** argv)
                  "random-50%", "random-30%"});
     for (const auto& app : apps) {
         const auto outcomes =
-            benchutil::profiling_campaign(app, cfg, epsilon);
+            benchutil::profiling_campaign(app, cfg, epsilon,
+                                          service.get());
         table.add_row({app.abbrev,
                        fmt_fixed(outcomes[0].error_pct, 2),
                        fmt_fixed(outcomes[1].error_pct, 2),

@@ -41,7 +41,9 @@ main(int argc, char** argv)
               << cfg.cluster.name << ", seed=" << cfg.seed
               << ", reps=" << cfg.reps << ")\n\n";
 
-    core::ModelRegistry registry(cfg, core::ModelBuildOptions{});
+    const auto service = benchutil::service_from_cli(cli);
+    core::ModelRegistry registry(cfg, core::ModelBuildOptions{},
+                                 service.get());
 
     Table table({"app", "avg_err(%)", "p25(%)", "p75(%)", "max(%)"});
     BarChart chart("Average validation error", "%");

@@ -43,7 +43,9 @@ main(int argc, char** argv)
               << ", seed=" << cfg.seed << ", reps=" << cfg.reps
               << ")\n\n";
 
-    core::ModelRegistry registry(cfg, core::ModelBuildOptions{});
+    const auto service = benchutil::service_from_cli(cli);
+    core::ModelRegistry registry(cfg, core::ModelBuildOptions{},
+                                 service.get());
 
     Table table({"mix", "QoS app", "model", "QoS norm.time",
                  "QoS met?", "total norm.time (weighted)"});

@@ -70,7 +70,9 @@ main(int argc, char** argv)
               << ", reps=" << cfg.reps << ", SA iters=" << iters
               << ")\n\n";
 
-    core::ModelRegistry registry(cfg, core::ModelBuildOptions{});
+    const auto service = benchutil::service_from_cli(cli);
+    core::ModelRegistry registry(cfg, core::ModelBuildOptions{},
+                                 service.get());
 
     Table table({"mix", "workloads", "Best", "Random", "Naive",
                  "Worst", "best vs worst gain"});

@@ -37,6 +37,7 @@ main(int argc, char** argv)
     const std::vector<int> vm_counts{0, 1, 2, 4, 8, 16, 24, 32};
 
     const auto nodes = workload::all_nodes(cfg.cluster);
+    const auto service = benchutil::service_from_cli(cli);
     std::cout << "Figure 12: execution time with varying bubble "
                  "pressures, 0-32 interfering VMs on "
               << cfg.cluster.name << "\n(seed=" << cfg.seed
@@ -51,15 +52,28 @@ main(int argc, char** argv)
         std::vector<std::size_t> series;
         for (int p : pressures)
             series.push_back(chart.add_series("P" + std::to_string(p)));
-        for (std::size_t pi = 0; pi < pressures.size(); ++pi) {
+        // One batch per app: solo baseline + every swept point (the
+        // service deduplicates the j == 0 repeats of the solo run).
+        std::vector<workload::RunRequest> reqs;
+        reqs.push_back(workload::solo_time_request(app, nodes, cfg));
+        for (int p : pressures) {
             for (int j : vm_counts) {
                 std::vector<double> vec(
                     static_cast<std::size_t>(cfg.cluster.num_nodes),
                     0.0);
                 for (int n = 0; n < j; ++n)
-                    vec[static_cast<std::size_t>(n)] = pressures[pi];
-                const double t = workload::run_with_bubbles_norm(
-                    app, nodes, vec, cfg);
+                    vec[static_cast<std::size_t>(n)] = p;
+                reqs.push_back(workload::app_time_request(
+                    app, nodes, workload::bubble_tenants(vec), cfg));
+            }
+        }
+        const auto times = service->run_all(reqs);
+        const double solo = times[0];
+
+        std::size_t k = 1;
+        for (std::size_t pi = 0; pi < pressures.size(); ++pi) {
+            for (int j : vm_counts) {
+                const double t = times[k++] / solo;
                 chart.add_point(series[pi], j, t);
             }
         }

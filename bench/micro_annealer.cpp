@@ -74,7 +74,9 @@ run(int argc, char** argv)
               << " runs, seed=" << cfg.seed << ")\n\nProfiling "
               << mix.size() << " models...\n";
 
-    core::ModelRegistry registry(cfg, core::ModelBuildOptions{});
+    const auto service = benchutil::service_from_cli(cli);
+    core::ModelRegistry registry(cfg, core::ModelBuildOptions{},
+                                 service.get());
     const ModelEvaluator evaluator(registry, instances);
 
     Rng rng(cfg.seed);

@@ -54,6 +54,7 @@ main(int argc, char** argv)
     const int samples = cli.get_int("samples", 60);
     const auto apps = benchutil::apps_from_cli(cli);
     const auto nodes = workload::all_nodes(cfg.cluster);
+    const auto service = benchutil::service_from_cli(cli);
 
     std::cout << "Table 2: best heterogeneity mapping policy per "
                  "application\n(cluster="
@@ -66,11 +67,15 @@ main(int argc, char** argv)
     for (const auto& app : apps) {
         ProfileOptions popts;
         popts.hosts = cfg.cluster.num_nodes;
+        popts.row_tasks = service->threads();
         CountingMeasure measure(
-            make_cluster_measure(app, nodes, cfg, popts.grid));
+            make_cluster_measure(app, nodes, cfg, popts.grid,
+                                 *service),
+            make_cluster_prefetch(app, nodes, cfg, popts.grid,
+                                  *service));
         const auto profile = profile_exhaustive(measure, popts);
         const auto hetero =
-            make_cluster_hetero_measure(app, nodes, cfg);
+            make_cluster_hetero_measure(app, nodes, cfg, *service);
         const auto fits = evaluate_policies(
             profile.matrix, hetero, cfg.cluster.num_nodes, samples,
             Rng(hash_combine(cfg.seed,

@@ -26,6 +26,7 @@ main(int argc, char** argv)
     const auto cfg = benchutil::config_from_cli(cli);
     const double epsilon = cli.get_double("epsilon", 0.05);
     const auto apps = benchutil::apps_from_cli(cli);
+    const auto service = benchutil::service_from_cli(cli);
 
     std::cout << "Table 3: profiling cost and accuracy\n(cluster="
               << cfg.cluster.name << ", epsilon=" << epsilon
@@ -44,7 +45,8 @@ main(int argc, char** argv)
     std::map<core::ProfileAlgorithm, OnlineStats> error;
     for (const auto& app : apps) {
         const auto outcomes =
-            benchutil::profiling_campaign(app, cfg, epsilon);
+            benchutil::profiling_campaign(app, cfg, epsilon,
+                                          service.get());
         for (const auto& outcome : outcomes) {
             cost[outcome.algorithm].add(outcome.cost_pct);
             error[outcome.algorithm].add(outcome.error_pct);

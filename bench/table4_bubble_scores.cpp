@@ -28,7 +28,8 @@ main(int argc, char** argv)
               << cfg.cluster.name << ", seed=" << cfg.seed
               << ", reps=" << cfg.reps << ")\n\n";
 
-    const core::BubbleScorer scorer(cfg);
+    const auto service = benchutil::service_from_cli(cli);
+    const core::BubbleScorer scorer(cfg, service.get());
     std::cout << "Reporter calibration (probe degradation at bubble "
                  "pressure 0..8):\n  ";
     for (double d : scorer.calibration())

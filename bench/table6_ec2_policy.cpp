@@ -41,6 +41,7 @@ main(int argc, char** argv)
     };
 
     const auto nodes = workload::all_nodes(cfg.cluster);
+    const auto service = benchutil::service_from_cli(cli);
     std::cout << "Table 6: best heterogeneity mapping policy on EC2\n"
               << "(cluster=" << cfg.cluster.name
               << ", samples=" << samples << ", seed=" << cfg.seed
@@ -52,11 +53,15 @@ main(int argc, char** argv)
         const auto& app = workload::find_app(abbrev);
         ProfileOptions popts;
         popts.hosts = cfg.cluster.num_nodes;
+        popts.row_tasks = service->threads();
         CountingMeasure measure(
-            make_cluster_measure(app, nodes, cfg, popts.grid));
+            make_cluster_measure(app, nodes, cfg, popts.grid,
+                                 *service),
+            make_cluster_prefetch(app, nodes, cfg, popts.grid,
+                                  *service));
         const auto profile = profile_binary_optimized(measure, popts);
         const auto hetero =
-            make_cluster_hetero_measure(app, nodes, cfg);
+            make_cluster_hetero_measure(app, nodes, cfg, *service);
         const auto fits = evaluate_policies(
             profile.matrix, hetero, cfg.cluster.num_nodes, samples,
             Rng(hash_combine(cfg.seed,

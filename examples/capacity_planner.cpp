@@ -25,6 +25,7 @@
 #include "placement/annealer.hpp"
 #include "placement/evaluator.hpp"
 #include "workload/catalog.hpp"
+#include "workload/run_service.hpp"
 
 using namespace imc;
 using namespace imc::placement;
@@ -46,7 +47,9 @@ main(int argc, char** argv)
               << "; choosing 3 co-tenants out of "
               << candidates.size() << " candidates\n\n";
 
-    core::ModelRegistry registry(cfg, core::ModelBuildOptions{});
+    workload::RunService service(cli.get_int("threads", 0));
+    core::ModelRegistry registry(cfg, core::ModelBuildOptions{},
+                                 &service);
 
     struct Option {
         std::string combo;

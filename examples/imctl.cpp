@@ -10,6 +10,11 @@
  *   profile --app M.milc --out milc.model [--nodes 8]
  *       Build the app's interference model and save it.
  *
+ * Global options: --threads N sizes the measurement service's worker
+ * pool (default 0 = hardware concurrency; results are bit-identical
+ * at any setting); --model-cache DIR reuses models profiled by
+ * earlier invocations with the same configuration.
+ *
  *   show --model milc.model
  *       Print a saved model: policy, score, sensitivity matrix.
  *
@@ -34,10 +39,27 @@
 #include "placement/annealer.hpp"
 #include "placement/evaluator.hpp"
 #include "workload/catalog.hpp"
+#include "workload/run_service.hpp"
 
 using namespace imc;
 
 namespace {
+
+/** Worker pool from --threads (default: hardware concurrency). */
+workload::RunService
+service_from(const Cli& cli)
+{
+    return workload::RunService(cli.get_int("threads", 0));
+}
+
+/** Build options honoring --model-cache. */
+core::ModelBuildOptions
+build_options_from(const Cli& cli)
+{
+    core::ModelBuildOptions opts;
+    opts.model_cache_dir = cli.get("model-cache", "");
+    return opts;
+}
 
 int
 cmd_profile(const Cli& cli)
@@ -52,14 +74,20 @@ cmd_profile(const Cli& cli)
 
     std::cout << "Profiling " << app.abbrev << " at " << nodes
               << "-node deployment...\n";
-    core::ModelRegistry registry(cfg, core::ModelBuildOptions{});
+    auto service = service_from(cli);
+    core::ModelRegistry registry(cfg, build_options_from(cli),
+                                 &service);
     const auto& built = registry.model(app, nodes);
     core::save_model_file(out, built.model);
     std::cout << "Saved to " << out << "\n  policy "
               << core::to_string(built.model.policy()) << ", score "
-              << fmt_fixed(built.model.bubble_score(), 1)
-              << ", profiling cost "
-              << fmt_pct(built.profile_cost, 1) << " of settings\n";
+              << fmt_fixed(built.model.bubble_score(), 1);
+    if (built.from_disk_cache)
+        std::cout << " (reused from model cache)";
+    else
+        std::cout << ", profiling cost "
+                  << fmt_pct(built.profile_cost, 1) << " of settings";
+    std::cout << '\n';
     return 0;
 }
 
@@ -133,7 +161,16 @@ cmd_place(const Cli& cli)
         instances.push_back(
             placement::Instance{workload::find_app(name), 4});
 
-    core::ModelRegistry registry(cfg, core::ModelBuildOptions{});
+    auto service = service_from(cli);
+    core::ModelRegistry registry(cfg, build_options_from(cli),
+                                 &service);
+    if (service.threads() > 1) {
+        // Profile the mix's distinct models concurrently up front.
+        std::vector<workload::AppSpec> apps;
+        for (const auto& inst : instances)
+            apps.push_back(inst.app);
+        registry.prefetch(apps, cfg.cluster.num_nodes);
+    }
     const placement::ModelEvaluator evaluator(registry, instances);
 
     Rng rng(cfg.seed);

@@ -19,6 +19,7 @@
 #include "common/table.hpp"
 #include "core/registry.hpp"
 #include "workload/catalog.hpp"
+#include "workload/run_service.hpp"
 
 using namespace imc;
 using namespace imc::core;
@@ -36,6 +37,15 @@ main(int argc, char** argv)
     popts.hosts = cfg.cluster.num_nodes;
     popts.epsilon = cli.get_double("epsilon", 0.05);
     const auto nodes = workload::all_nodes(cfg.cluster);
+    workload::RunService service(cli.get_int("threads", 0));
+    popts.row_tasks = service.threads();
+    const auto fresh_measure = [&] {
+        return CountingMeasure(
+            make_cluster_measure(app, nodes, cfg, popts.grid,
+                                 service),
+            make_cluster_prefetch(app, nodes, cfg, popts.grid,
+                                  service));
+    };
 
     std::cout << "Profiling " << app.abbrev << " on "
               << cfg.cluster.name << " (" << popts.pressure_levels()
@@ -45,8 +55,7 @@ main(int argc, char** argv)
               << " settings)\n\n";
 
     // Ground truth for accuracy accounting.
-    CountingMeasure truth_measure(
-        make_cluster_measure(app, nodes, cfg, popts.grid));
+    CountingMeasure truth_measure = fresh_measure();
     const auto truth = profile_exhaustive(truth_measure, popts);
 
     Table table({"algorithm", "runs", "cost", "matrix error",
@@ -55,8 +64,7 @@ main(int argc, char** argv)
          {ProfileAlgorithm::Exhaustive, ProfileAlgorithm::BinaryBrute,
           ProfileAlgorithm::BinaryOptimized,
           ProfileAlgorithm::Random50, ProfileAlgorithm::Random30}) {
-        CountingMeasure measure(
-            make_cluster_measure(app, nodes, cfg, popts.grid));
+        CountingMeasure measure = fresh_measure();
         const auto result =
             run_profiler(algorithm, measure, popts,
                          hash_combine(cfg.seed, hash_string(

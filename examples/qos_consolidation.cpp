@@ -22,6 +22,7 @@
 #include "placement/annealer.hpp"
 #include "placement/evaluator.hpp"
 #include "workload/catalog.hpp"
+#include "workload/run_service.hpp"
 
 using namespace imc;
 using namespace imc::placement;
@@ -54,7 +55,9 @@ main(int argc, char** argv)
         std::cout << abbrev << ' ';
     std::cout << "\n\nProfiling models...\n";
 
-    core::ModelRegistry registry(cfg, core::ModelBuildOptions{});
+    workload::RunService service(cli.get_int("threads", 0));
+    core::ModelRegistry registry(cfg, core::ModelBuildOptions{},
+                                 &service);
     const ModelEvaluator evaluator(registry, instances);
 
     // A random placement as the "what if we don't think about it"

@@ -22,6 +22,7 @@
 #include "core/registry.hpp"
 #include "workload/catalog.hpp"
 #include "workload/runner.hpp"
+#include "workload/run_service.hpp"
 
 using namespace imc;
 
@@ -48,7 +49,9 @@ main(int argc, char** argv)
     //    algorithm, selects the heterogeneity policy from random
     //    samples, and measures bubble scores — all through ordinary
     //    cluster runs, never by peeking inside the workloads.
-    core::ModelRegistry registry(cfg, core::ModelBuildOptions{});
+    workload::RunService service(cli.get_int("threads", 0));
+    core::ModelRegistry registry(cfg, core::ModelBuildOptions{},
+                                 &service);
     const auto& model = registry.model(app).model;
     const auto& corunner_model = registry.model(corunner).model;
 

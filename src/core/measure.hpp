@@ -12,13 +12,23 @@
  * heterogeneous per-node pressure vector. CountingMeasure wraps a
  * MeasureFn to count and cache invocations, which is how profiling
  * *cost* (Table 3) is accounted.
+ *
+ * Measurements can run against a workload::RunService backend: the
+ * service-backed factories build the exact same leaf runs (identical
+ * seeds and salts, hence bit-identical values) but route them through
+ * the service's worker pool and content-addressed cache, and expose a
+ * *batch-prefetch* hook so a profiler can fan out every setting it
+ * knows it will need before consuming them serially.
  */
 
 #include <functional>
-#include <map>
+#include <mutex>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "core/heterogeneity.hpp"
+#include "workload/run_service.hpp"
 #include "workload/runner.hpp"
 
 namespace imc::core {
@@ -38,20 +48,58 @@ using MeasureFn = std::function<double(int pressure, int nodes)>;
  * the count of distinct measured settings is the profiling cost.
  * Settings with nodes == 0 are free (they are 1 by definition), which
  * matches the paper's cost accounting.
+ *
+ * Thread-safe: concurrent callers (row-parallel profiling) may hit
+ * distinct or identical settings; a setting is *counted* exactly once
+ * either way, so the cost accounting is deterministic under any
+ * interleaving. The inner function must itself be safe to invoke
+ * concurrently (cluster measures are: each run is self-contained).
  */
 class CountingMeasure {
   public:
-    explicit CountingMeasure(MeasureFn inner);
+    /** One (pressure level, interfering-node count) setting. */
+    using Setting = std::pair<int, int>;
+    /**
+     * Batch-prefetch hook: schedule (without waiting) the cluster
+     * runs behind the given settings, so later measure() calls find
+     * them done or in flight. Purely an execution hint — it must not
+     * change any measured value and does not affect cost accounting.
+     */
+    using PrefetchFn = std::function<void(const std::vector<Setting>&)>;
+
+    explicit CountingMeasure(MeasureFn inner,
+                             PrefetchFn prefetch = nullptr);
 
     /** Measure (or return the cached value of) one setting. */
     double operator()(int pressure, int nodes);
 
+    /**
+     * Fan out the runs behind settings not yet cached. No-op without
+     * a prefetch hook (plain serial backend). Settings with
+     * nodes == 0 are skipped (free by definition).
+     */
+    void prefetch(const std::vector<Setting>& settings);
+
     /** Distinct settings measured so far (nodes >= 1 only). */
-    int measured() const { return measured_; }
+    int measured() const;
 
   private:
+    struct SettingHash {
+        std::size_t operator()(const Setting& s) const
+        {
+            // Settings are tiny non-negative ints; pack into one word.
+            return static_cast<std::size_t>(
+                (static_cast<std::uint64_t>(
+                     static_cast<std::uint32_t>(s.first))
+                 << 32) ^
+                static_cast<std::uint32_t>(s.second));
+        }
+    };
+
+    mutable std::mutex mutex_;
     MeasureFn inner_;
-    std::map<std::pair<int, int>, double> cache_;
+    PrefetchFn prefetch_;
+    std::unordered_map<Setting, double, SettingHash> cache_;
     int measured_ = 0;
 };
 
@@ -71,11 +119,42 @@ make_cluster_measure(const workload::AppSpec& app,
                      const workload::RunConfig& cfg,
                      const std::vector<double>& grid);
 
+/**
+ * Service-backed variant: identical leaf runs (bit-identical values)
+ * routed through @p service. The service reference must outlive the
+ * returned function.
+ */
+MeasureFn
+make_cluster_measure(const workload::AppSpec& app,
+                     const std::vector<sim::NodeId>& nodes,
+                     const workload::RunConfig& cfg,
+                     const std::vector<double>& grid,
+                     workload::RunService& service);
+
+/**
+ * Batch-prefetch hook matching the service-backed measure: submits
+ * the loaded run of every given setting plus the shared solo
+ * baseline, without waiting.
+ */
+CountingMeasure::PrefetchFn
+make_cluster_prefetch(const workload::AppSpec& app,
+                      const std::vector<sim::NodeId>& nodes,
+                      const workload::RunConfig& cfg,
+                      const std::vector<double>& grid,
+                      workload::RunService& service);
+
 /** Heterogeneous counterpart (per-node pressures over @p nodes). */
 HeteroMeasureFn
 make_cluster_hetero_measure(const workload::AppSpec& app,
                             const std::vector<sim::NodeId>& nodes,
                             const workload::RunConfig& cfg);
+
+/** Service-backed heterogeneous variant (bit-identical values). */
+HeteroMeasureFn
+make_cluster_hetero_measure(const workload::AppSpec& app,
+                            const std::vector<sim::NodeId>& nodes,
+                            const workload::RunConfig& cfg,
+                            workload::RunService& service);
 
 } // namespace imc::core
 

@@ -1,7 +1,10 @@
 #include "core/profilers.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/interp.hpp"
@@ -127,6 +130,45 @@ interpolate_col(Grid& grid, int j)
         grid[i][static_cast<std::size_t>(j)] = col[i];
 }
 
+/**
+ * Run fn(p) for every pressure row 1..n, on up to @p tasks concurrent
+ * threads. Rows are handed out through a shared counter; any row
+ * order yields the same grid because rows never share state.
+ */
+void
+for_each_row(int n, int tasks, const std::function<void(int)>& fn)
+{
+    if (tasks <= 1 || n <= 1) {
+        for (int p = 1; p <= n; ++p)
+            fn(p);
+        return;
+    }
+    const int workers = std::min(tasks, n);
+    std::atomic<int> next{1};
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(workers));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+            try {
+                for (int p = next.fetch_add(1); p <= n;
+                     p = next.fetch_add(1))
+                    fn(p);
+            } catch (...) {
+                errors[static_cast<std::size_t>(w)] =
+                    std::current_exception();
+            }
+        });
+    }
+    for (auto& t : pool)
+        t.join();
+    for (const auto& e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
 ProfileResult
 finish(Grid grid, CountingMeasure& measure, const ProfileOptions& opts)
 {
@@ -145,12 +187,25 @@ ProfileResult
 profile_exhaustive(CountingMeasure& measure, const ProfileOptions& opts)
 {
     Grid grid = make_grid(opts);
-    for (int p = 1; p <= opts.pressure_levels(); ++p) {
-        for (int j = 1; j <= opts.hosts; ++j) {
+    const int n = opts.pressure_levels();
+    const int m = opts.hosts;
+
+    // Every setting is known upfront: fan the whole grid out at once.
+    std::vector<CountingMeasure::Setting> all;
+    all.reserve(static_cast<std::size_t>(n) *
+                static_cast<std::size_t>(m));
+    for (int p = 1; p <= n; ++p) {
+        for (int j = 1; j <= m; ++j)
+            all.emplace_back(p, j);
+    }
+    measure.prefetch(all);
+
+    for_each_row(n, opts.row_tasks, [&](int p) {
+        for (int j = 1; j <= m; ++j) {
             grid[static_cast<std::size_t>(p - 1)]
                 [static_cast<std::size_t>(j)] = measure(p, j);
         }
-    }
+    });
     return finish(std::move(grid), measure, opts);
 }
 
@@ -158,13 +213,25 @@ ProfileResult
 profile_binary_brute(CountingMeasure& measure, const ProfileOptions& opts)
 {
     Grid grid = make_grid(opts);
+    const int n = opts.pressure_levels();
     const int m = opts.hosts;
-    for (int p = 1; p <= opts.pressure_levels(); ++p) {
-        grid[static_cast<std::size_t>(p - 1)][static_cast<std::size_t>(m)] =
-            measure(p, m);
+
+    // Every row starts from its (p, m) endpoint: fan those probes out
+    // before the data-dependent bisections consume them.
+    std::vector<CountingMeasure::Setting> endpoints;
+    endpoints.reserve(static_cast<std::size_t>(n));
+    for (int p = 1; p <= n; ++p)
+        endpoints.emplace_back(p, m);
+    measure.prefetch(endpoints);
+
+    // Rows are independent (a row's bisection reads only its own
+    // entries), so they can refine concurrently.
+    for_each_row(n, opts.row_tasks, [&](int p) {
+        grid[static_cast<std::size_t>(p - 1)]
+            [static_cast<std::size_t>(m)] = measure(p, m);
         binary_row(grid, measure, p, 0, m, opts.epsilon);
         interpolate_row(grid, p);
-    }
+    });
     return finish(std::move(grid), measure, opts);
 }
 
@@ -177,6 +244,7 @@ profile_binary_optimized(CountingMeasure& measure,
     const int m = opts.hosts;
 
     // Anchors: max-node count at min and max pressure.
+    measure.prefetch({{1, m}, {n, m}});
     grid[0][static_cast<std::size_t>(m)] = measure(1, m);
     grid[static_cast<std::size_t>(n - 1)][static_cast<std::size_t>(m)] =
         measure(n, m);
@@ -229,13 +297,16 @@ profile_random(CountingMeasure& measure, const ProfileOptions& opts,
     const int n = opts.pressure_levels();
     const int m = opts.hosts;
 
+    // The whole sample set is fixed before anything is measured —
+    // select first, then fan every chosen setting out in one batch.
+    //
     // Mandatory: the all-hosts column, so every row has a measured
     // right endpoint for interpolation (the paper always measures
     // "interference in all hosts for each bubble pressure").
     int budget = static_cast<int>(std::lround(fraction * n * m));
+    std::vector<CountingMeasure::Setting> chosen;
     for (int p = 1; p <= n; ++p) {
-        grid[static_cast<std::size_t>(p - 1)][static_cast<std::size_t>(m)] =
-            measure(p, m);
+        chosen.emplace_back(p, m);
         --budget;
     }
 
@@ -251,7 +322,11 @@ profile_random(CountingMeasure& measure, const ProfileOptions& opts,
         const std::size_t pick =
             i + rng.uniform_index(candidates.size() - i);
         std::swap(candidates[i], candidates[pick]);
-        const auto [p, j] = candidates[i];
+        chosen.push_back(candidates[i]);
+    }
+
+    measure.prefetch(chosen);
+    for (const auto& [p, j] : chosen) {
         grid[static_cast<std::size_t>(p - 1)][static_cast<std::size_t>(j)] =
             measure(p, j);
     }

@@ -70,6 +70,14 @@ struct ProfileOptions {
      * normalized times differ by less than this.
      */
     double epsilon = 0.05;
+    /**
+     * Concurrent per-pressure-row tasks for the row-independent
+     * algorithms (exhaustive, binary-brute). Rows never share
+     * settings, so the result — matrix AND measured count — is
+     * bit-identical for any value; > 1 requires the measure to be
+     * safe under concurrent calls (CountingMeasure is).
+     */
+    int row_tasks = 1;
 
     /** Number of rows. */
     int pressure_levels() const

@@ -1,8 +1,13 @@
 #include "core/registry.hpp"
 
+#include <bit>
+#include <cstdio>
+#include <filesystem>
 #include <utility>
+#include <vector>
 
 #include "common/error.hpp"
+#include "core/serialize.hpp"
 
 namespace imc::core {
 
@@ -43,10 +48,69 @@ run_profiler(ProfileAlgorithm algorithm, CountingMeasure& measure,
     throw LogicBug("run_profiler: unknown ProfileAlgorithm");
 }
 
-ModelRegistry::ModelRegistry(workload::RunConfig cfg,
-                             ModelBuildOptions opts)
-    : cfg_(std::move(cfg)), opts_(opts), scorer_(cfg_)
+namespace {
+
+std::uint64_t
+hash_double(std::uint64_t h, double v)
 {
+    return hash_combine(h, std::bit_cast<std::uint64_t>(v));
+}
+
+/**
+ * Hash of everything a built model depends on besides (app, size):
+ * cluster profile, seed/reps/salt, and the pipeline knobs. Embedded
+ * in the cache filename so a directory can safely hold models from
+ * different configurations side by side.
+ */
+std::uint64_t
+config_hash(const workload::RunConfig& cfg,
+            const ModelBuildOptions& opts)
+{
+    std::uint64_t h = hash_string("model-cache-v1");
+    h = hash_combine(h, hash_string(cfg.cluster.name));
+    h = hash_combine(h,
+                     static_cast<std::uint64_t>(cfg.cluster.num_nodes));
+    h = hash_double(h, cfg.cluster.node.llc_mb);
+    h = hash_double(h, cfg.cluster.node.bw_gbps);
+    h = hash_double(h, cfg.cluster.node.share_alpha);
+    h = hash_combine(
+        h, static_cast<std::uint64_t>(cfg.cluster.slots_per_node));
+    h = hash_combine(
+        h, static_cast<std::uint64_t>(cfg.cluster.procs_per_unit));
+    h = hash_double(h, cfg.cluster.background_sigma);
+    h = hash_combine(h, cfg.seed);
+    h = hash_combine(h, static_cast<std::uint64_t>(cfg.reps));
+    h = hash_combine(h, cfg.salt);
+    h = hash_combine(h, hash_string(to_string(opts.algorithm)));
+    h = hash_double(h, opts.epsilon);
+    h = hash_combine(h,
+                     static_cast<std::uint64_t>(opts.policy_samples));
+    return h;
+}
+
+} // namespace
+
+ModelRegistry::ModelRegistry(workload::RunConfig cfg,
+                             ModelBuildOptions opts,
+                             workload::RunService* service)
+    : cfg_(std::move(cfg)), opts_(std::move(opts)), service_(service),
+      scorer_(cfg_, service)
+{
+}
+
+std::string
+ModelRegistry::cache_path(const std::string& abbrev,
+                          int deploy_nodes) const
+{
+    if (opts_.model_cache_dir.empty())
+        return {};
+    char tail[64];
+    std::snprintf(tail, sizeof tail, "_n%d_%016llx.model", deploy_nodes,
+                  static_cast<unsigned long long>(
+                      config_hash(cfg_, opts_)));
+    return (std::filesystem::path(opts_.model_cache_dir) /
+            (abbrev + tail))
+        .string();
 }
 
 const BuiltModel&
@@ -56,14 +120,23 @@ ModelRegistry::model(const workload::AppSpec& app, int deploy_nodes)
                 deploy_nodes <= cfg_.cluster.num_nodes,
             "ModelRegistry: deployment size out of range");
     const auto key = std::make_pair(app.abbrev, deploy_nodes);
-    // Serializing build() under the lock is deliberate: profiling is
-    // deterministic per key, and concurrent callers asking for the
-    // same key must not both build it.
-    const std::lock_guard<std::mutex> lock(mutex_);
-    auto it = cache_.find(key);
-    if (it == cache_.end())
-        it = cache_.emplace(key, build(app, deploy_nodes)).first;
-    return it->second;
+    std::shared_ptr<Slot> slot;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        auto& entry = cache_[key];
+        if (!entry)
+            entry = std::make_shared<Slot>();
+        slot = entry;
+    }
+    // The build runs outside the registry lock: concurrent callers
+    // asking for *distinct* keys profile in parallel, while callers
+    // of the *same* key all block on its once-flag and at most one
+    // builds (an exception releases the flag for the next caller).
+    std::call_once(slot->once, [&] {
+        slot->built =
+            std::make_unique<BuiltModel>(build(app, deploy_nodes));
+    });
+    return *slot->built;
 }
 
 const BuiltModel&
@@ -72,9 +145,48 @@ ModelRegistry::model(const workload::AppSpec& app)
     return model(app, cfg_.cluster.num_nodes);
 }
 
+void
+ModelRegistry::prefetch(const std::vector<workload::AppSpec>& apps,
+                        int deploy_nodes)
+{
+    // One builder thread per distinct app; the leaf runs each build
+    // submits additionally spread across the service's pool. Builder
+    // threads are *callers* of the service, never its workers, so
+    // this cannot deadlock the pool.
+    std::vector<std::thread> builders;
+    std::vector<std::exception_ptr> errors(apps.size());
+    builders.reserve(apps.size());
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        builders.emplace_back([&, i] {
+            try {
+                model(apps[i], deploy_nodes);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    }
+    for (auto& t : builders)
+        t.join();
+    for (const auto& e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
 BuiltModel
 ModelRegistry::build(const workload::AppSpec& app, int deploy_nodes)
 {
+    // 0. Persistent cache: a model profiled by an earlier invocation
+    // with the identical configuration is simply reloaded (the paper's
+    // profile-once deployment story, Section 4.4).
+    const std::string path = cache_path(app.abbrev, deploy_nodes);
+    if (!path.empty() && std::filesystem::exists(path)) {
+        BuiltModel loaded{load_model_file(path), {}, 0.0, true};
+        require(loaded.model.app() == app.abbrev,
+                "ModelRegistry: cached model app mismatch in " + path);
+        return loaded;
+    }
+
     std::vector<sim::NodeId> nodes(
         static_cast<std::size_t>(deploy_nodes));
     for (int i = 0; i < deploy_nodes; ++i)
@@ -84,14 +196,26 @@ ModelRegistry::build(const workload::AppSpec& app, int deploy_nodes)
     ProfileOptions popts;
     popts.hosts = deploy_nodes;
     popts.epsilon = opts_.epsilon;
-    CountingMeasure measure(
-        make_cluster_measure(app, nodes, cfg_, popts.grid));
+    CountingMeasure measure =
+        service_
+            ? CountingMeasure(
+                  make_cluster_measure(app, nodes, cfg_, popts.grid,
+                                       *service_),
+                  make_cluster_prefetch(app, nodes, cfg_, popts.grid,
+                                        *service_))
+            : CountingMeasure(
+                  make_cluster_measure(app, nodes, cfg_, popts.grid));
+    if (service_)
+        popts.row_tasks = service_->threads();
     const auto profile = run_profiler(
         opts_.algorithm, measure, popts,
         hash_combine(cfg_.seed, hash_string("profiler:" + app.abbrev)));
 
     // 2. Heterogeneity policy from random measured samples.
-    const auto hetero = make_cluster_hetero_measure(app, nodes, cfg_);
+    const auto hetero =
+        service_ ? make_cluster_hetero_measure(app, nodes, cfg_,
+                                               *service_)
+                 : make_cluster_hetero_measure(app, nodes, cfg_);
     const auto fits = evaluate_policies(
         profile.matrix, hetero, deploy_nodes, opts_.policy_samples,
         Rng(hash_combine(cfg_.seed,
@@ -101,10 +225,17 @@ ModelRegistry::build(const workload::AppSpec& app, int deploy_nodes)
     // 3. Bubble score.
     const double score = scorer_.score(app, nodes);
 
-    return BuiltModel{
+    BuiltModel built{
         InterferenceModel(app.abbrev, profile.matrix, best.policy,
                           score),
-        fits, profile.cost()};
+        fits, profile.cost(), false};
+
+    if (!path.empty()) {
+        std::filesystem::create_directories(
+            std::filesystem::path(path).parent_path());
+        save_model_file(path, built.model);
+    }
+    return built;
 }
 
 } // namespace imc::core

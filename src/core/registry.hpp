@@ -11,6 +11,14 @@
  * bubble scoring. Models are cached by (application, deployment size),
  * since on a homogeneous cluster only the number of occupied nodes
  * matters.
+ *
+ * Measurements can run through a workload::RunService, which batches
+ * the underlying cluster runs onto a worker pool and deduplicates
+ * repeats; distinct (app, size) models build concurrently via
+ * prefetch(). Results are bit-identical with and without the service
+ * at any thread count. An optional on-disk model cache persists
+ * profiled models across invocations (profiling once and reusing the
+ * model is the paper's own deployment story, Section 4.4).
  */
 
 #include <map>
@@ -21,6 +29,7 @@
 #include "core/model.hpp"
 #include "core/profilers.hpp"
 #include "core/scorer.hpp"
+#include "workload/run_service.hpp"
 #include "workload/runner.hpp"
 
 namespace imc::core {
@@ -45,39 +54,65 @@ struct ModelBuildOptions {
     /** Random heterogeneous samples for policy selection
      *  (Section 3.3 uses 60 on the private cluster, 100 on EC2). */
     int policy_samples = 60;
+    /**
+     * Directory for the persistent model cache; empty disables it.
+     * A built model is saved as
+     * <abbrev>_n<size>_<config-hash>.model and reloaded by any later
+     * registry with the same configuration — the config hash covers
+     * cluster, seed, reps, algorithm, epsilon, and policy samples, so
+     * a stale cache can never serve a mismatched model.
+     */
+    std::string model_cache_dir;
 };
 
 /** Everything profiled for one (application, deployment). */
 struct BuiltModel {
     InterferenceModel model;
-    /** Per-policy fits from the selection step. */
+    /** Per-policy fits from the selection step (empty when the model
+     *  was loaded from the on-disk cache). */
     std::vector<PolicyFit> policy_fits;
-    /** Profiling cost of the matrix build, fraction of settings. */
+    /** Profiling cost of the matrix build, fraction of settings
+     *  (0 when loaded from the on-disk cache). */
     double profile_cost = 0.0;
+    /** True when served from the on-disk model cache. */
+    bool from_disk_cache = false;
 };
 
 /** Builds and caches interference models for a cluster. */
 class ModelRegistry {
   public:
     /**
-     * @param cfg  cluster/seed/reps configuration for profiling runs
-     * @param opts pipeline knobs
+     * @param cfg     cluster/seed/reps configuration for profiling
+     * @param opts    pipeline knobs
+     * @param service optional measurement backend shared by every
+     *        profiling run; nullptr measures inline. Must outlive the
+     *        registry.
      */
-    ModelRegistry(workload::RunConfig cfg, ModelBuildOptions opts);
+    ModelRegistry(workload::RunConfig cfg, ModelBuildOptions opts,
+                  workload::RunService* service = nullptr);
 
     /**
      * The model of @p app at a deployment spanning @p deploy_nodes
      * nodes (profiled on nodes [0, deploy_nodes) by symmetry).
      * Builds on first use, then caches; the returned reference stays
-     * valid for the registry's lifetime. Thread-safe: concurrent
-     * callers (parallel annealing chains, parallel benches) hit the
-     * cache under a lock, and at most one builds a given model.
+     * valid for the registry's lifetime. Thread-safe: at most one
+     * caller builds a given key, and *distinct* keys build
+     * concurrently (the lock is per-model, not registry-wide).
      */
     const BuiltModel& model(const workload::AppSpec& app,
                             int deploy_nodes);
 
     /** Convenience: full-cluster deployment. */
     const BuiltModel& model(const workload::AppSpec& app);
+
+    /**
+     * Build any missing models of @p apps at @p deploy_nodes
+     * concurrently (one builder thread per missing model; the leaf
+     * cluster runs additionally fan out across the service's worker
+     * pool). Identical results to calling model() serially.
+     */
+    void prefetch(const std::vector<workload::AppSpec>& apps,
+                  int deploy_nodes);
 
     /** The shared bubble scorer (exposed for the Table 4 bench). */
     const BubbleScorer& scorer() const { return scorer_; }
@@ -88,15 +123,30 @@ class ModelRegistry {
     /** The pipeline options. */
     const ModelBuildOptions& options() const { return opts_; }
 
+    /** The measurement backend, or nullptr when measuring inline. */
+    workload::RunService* service() const { return service_; }
+
   private:
+    /** One cache slot; built at most once via its flag. */
+    struct Slot {
+        std::once_flag once;
+        std::unique_ptr<BuiltModel> built;
+    };
+
     BuiltModel build(const workload::AppSpec& app, int deploy_nodes);
+
+    /** Cache-file path of a key, or "" when caching is disabled. */
+    std::string cache_path(const std::string& abbrev,
+                           int deploy_nodes) const;
 
     workload::RunConfig cfg_;
     ModelBuildOptions opts_;
+    workload::RunService* service_ = nullptr;
     BubbleScorer scorer_;
-    /** Guards cache_ (std::map nodes are reference-stable). */
+    /** Guards cache_ only; builds run outside it. */
     std::mutex mutex_;
-    std::map<std::pair<std::string, int>, BuiltModel> cache_;
+    std::map<std::pair<std::string, int>, std::shared_ptr<Slot>>
+        cache_;
 };
 
 /**

@@ -37,19 +37,33 @@ bubble_as_app(double pressure)
     return s;
 }
 
-BubbleScorer::BubbleScorer(workload::RunConfig cfg) : cfg_(std::move(cfg))
+std::vector<double>
+BubbleScorer::run_batch(
+    const std::vector<workload::RunRequest>& reqs) const
+{
+    if (service_)
+        return service_->run_all(reqs);
+    std::vector<double> out;
+    out.reserve(reqs.size());
+    for (const auto& req : reqs)
+        out.push_back(workload::execute_request(req));
+    return out;
+}
+
+BubbleScorer::BubbleScorer(workload::RunConfig cfg,
+                           workload::RunService* service)
+    : cfg_(std::move(cfg)), service_(service)
 {
     const auto probe = reporter_spec();
     const std::vector<sim::NodeId> probe_node{0};
 
+    // One batch: the probe solo baseline plus every calibration
+    // pressure level.
+    std::vector<workload::RunRequest> reqs;
     workload::RunConfig solo_cfg = cfg_;
     solo_cfg.salt = hash_combine(cfg_.salt, hash_string("probe-solo"));
-    probe_solo_time_ =
-        workload::run_solo_time(probe, probe_node, solo_cfg);
-    invariant(probe_solo_time_ > 0.0,
-              "BubbleScorer: nonpositive probe solo time");
-
-    degradation_.push_back(1.0); // pressure 0
+    reqs.push_back(
+        workload::solo_time_request(probe, probe_node, solo_cfg));
     for (int p = 1; p <= bubble::kMaxPressure; ++p) {
         workload::RunConfig run_cfg = cfg_;
         run_cfg.salt = hash_combine(
@@ -57,9 +71,19 @@ BubbleScorer::BubbleScorer(workload::RunConfig cfg) : cfg_(std::move(cfg))
                                     static_cast<std::uint64_t>(p)));
         std::vector<workload::ExtraTenant> extra{
             {0, bubble::bubble_demand(static_cast<double>(p))}};
-        const double t =
-            workload::run_app_time(probe, probe_node, extra, run_cfg);
-        degradation_.push_back(t / probe_solo_time_);
+        reqs.push_back(workload::app_time_request(probe, probe_node,
+                                                  extra, run_cfg));
+    }
+    const auto times = run_batch(reqs);
+
+    probe_solo_time_ = times[0];
+    invariant(probe_solo_time_ > 0.0,
+              "BubbleScorer: nonpositive probe solo time");
+
+    degradation_.push_back(1.0); // pressure 0
+    for (int p = 1; p <= bubble::kMaxPressure; ++p) {
+        degradation_.push_back(times[static_cast<std::size_t>(p)] /
+                               probe_solo_time_);
     }
 
     // Build a strictly increasing degradation -> pressure inverse.
@@ -74,20 +98,19 @@ BubbleScorer::BubbleScorer(workload::RunConfig cfg) : cfg_(std::move(cfg))
     }
 }
 
-double
-BubbleScorer::probe_degradation(const workload::AppSpec& app,
-                                const std::vector<sim::NodeId>& nodes,
-                                sim::NodeId node) const
+workload::RunRequest
+BubbleScorer::probe_request(const workload::AppSpec& app,
+                            const std::vector<sim::NodeId>& nodes,
+                            sim::NodeId node) const
 {
     workload::RunConfig run_cfg = cfg_;
     run_cfg.salt = hash_combine(
         cfg_.salt,
         hash_combine(hash_string("probe-score:" + app.abbrev),
                      static_cast<std::uint64_t>(node)));
-    const double t = workload::run_corun_time(
+    return workload::corun_time_request(
         reporter_spec(), {node}, {workload::Deployment{app, nodes}},
         run_cfg);
-    return t / probe_solo_time_;
 }
 
 double
@@ -95,10 +118,17 @@ BubbleScorer::score(const workload::AppSpec& app,
                     const std::vector<sim::NodeId>& nodes) const
 {
     require(!nodes.empty(), "BubbleScorer::score: empty deployment");
+    // Probe every node of the deployment in one batch.
+    std::vector<workload::RunRequest> reqs;
+    reqs.reserve(nodes.size());
+    for (sim::NodeId node : nodes)
+        reqs.push_back(probe_request(app, nodes, node));
+    const auto times = run_batch(reqs);
+
     const LinearInterpolator inverse(inverse_x_, inverse_y_);
     double sum = 0.0;
-    for (sim::NodeId node : nodes)
-        sum += inverse(probe_degradation(app, nodes, node));
+    for (double t : times)
+        sum += inverse(t / probe_solo_time_);
     return sum / static_cast<double>(nodes.size());
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/interp.hpp"
+#include "workload/run_service.hpp"
 #include "workload/runner.hpp"
 
 namespace imc::core {
@@ -28,12 +29,22 @@ class BubbleScorer {
     /**
      * Build the reporter calibration curve: the probe's normalized
      * time when co-located with bubbles at pressures 0..kMaxPressure.
+     * All calibration levels (and the probe solo baseline) are
+     * submitted as one batch, so with a multi-threaded @p service
+     * they run concurrently — the values are bit-identical either
+     * way (each run derives its seed from its own content).
+     *
+     * @param service optional measurement backend; nullptr executes
+     *        every run inline on the calling thread. Must outlive
+     *        the scorer.
      */
-    explicit BubbleScorer(workload::RunConfig cfg);
+    explicit BubbleScorer(workload::RunConfig cfg,
+                          workload::RunService* service = nullptr);
 
     /**
      * Bubble score of an application deployed on @p nodes: the mean,
-     * over nodes, of the inverted probe degradation.
+     * over nodes, of the inverted probe degradation. The per-node
+     * probe co-runs are submitted as one batch.
      */
     double score(const workload::AppSpec& app,
                  const std::vector<sim::NodeId>& nodes) const;
@@ -45,12 +56,18 @@ class BubbleScorer {
     }
 
   private:
-    /** Probe degradation with the app running, probe on @p node. */
-    double probe_degradation(const workload::AppSpec& app,
-                             const std::vector<sim::NodeId>& nodes,
-                             sim::NodeId node) const;
+    /** The probe co-run request behind one node's degradation. */
+    workload::RunRequest
+    probe_request(const workload::AppSpec& app,
+                  const std::vector<sim::NodeId>& nodes,
+                  sim::NodeId node) const;
+
+    /** Run a batch through the service, or inline without one. */
+    std::vector<double>
+    run_batch(const std::vector<workload::RunRequest>& reqs) const;
 
     workload::RunConfig cfg_;
+    workload::RunService* service_ = nullptr;
     double probe_solo_time_ = 0.0;
     std::vector<double> degradation_; // index = pressure 0..max
     std::vector<double> inverse_x_;   // strictly increasing degradation
