@@ -1,6 +1,7 @@
 #include "bench_util.hpp"
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 #include "common/stats.hpp"
 
 namespace imc::benchutil {
@@ -40,6 +41,7 @@ profiling_campaign(const workload::AppSpec& app,
                    const workload::RunConfig& cfg, double epsilon,
                    workload::RunService* service)
 {
+    const obs::Span span("campaign:" + app.abbrev);
     const auto nodes = workload::all_nodes(cfg.cluster);
     core::ProfileOptions opts;
     opts.hosts = cfg.cluster.num_nodes;

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/obs.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/measure.hpp"
@@ -25,6 +26,7 @@ int
 main(int argc, char** argv)
 {
     const Cli cli(argc, argv);
+    const obs::Session obs_session(cli);
     const auto cfg = benchutil::config_from_cli(cli);
     const int samples = cli.get_int("samples", 60);
     const auto apps = benchutil::apps_from_cli(cli);

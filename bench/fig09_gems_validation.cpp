@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/obs.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 
@@ -21,6 +22,7 @@ int
 main(int argc, char** argv)
 {
     const Cli cli(argc, argv);
+    const obs::Session obs_session(cli);
     const auto cfg = benchutil::config_from_cli(cli);
     const auto targets = benchutil::apps_from_cli(cli);
     const auto& gems = workload::find_app("M.Gems");

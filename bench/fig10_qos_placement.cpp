@@ -17,6 +17,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/obs.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "placement/annealer.hpp"
@@ -30,6 +31,7 @@ int
 main(int argc, char** argv)
 {
     const Cli cli(argc, argv);
+    const obs::Session obs_session(cli);
     const auto cfg = benchutil::config_from_cli(cli);
     const int iters = cli.get_int("iters", 4000);
     const double qos_perf = cli.get_double("qos", 0.8);

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/obs.hpp"
 #include "common/chart.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
@@ -22,6 +23,7 @@ int
 main(int argc, char** argv)
 {
     const Cli cli(argc, argv);
+    const obs::Session obs_session(cli);
     const auto cfg = benchutil::config_from_cli(cli, /*ec2=*/true);
 
     std::vector<std::string> abbrevs = cli.get_list("apps");

@@ -23,6 +23,7 @@
 #include <thread>
 
 #include "bench_util.hpp"
+#include "common/obs.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -46,6 +47,7 @@ int
 run(int argc, char** argv)
 {
     const Cli cli(argc, argv);
+    const obs::Session obs_session(cli);
     auto cfg = benchutil::config_from_cli(cli);
     cfg.cluster.num_nodes = cli.get_int("nodes", 16);
     cfg.cluster.name = "private" +

@@ -14,6 +14,7 @@
 #include <map>
 
 #include "bench_util.hpp"
+#include "common/obs.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/measure.hpp"
@@ -26,6 +27,7 @@ int
 main(int argc, char** argv)
 {
     const Cli cli(argc, argv);
+    const obs::Session obs_session(cli);
     const auto cfg = benchutil::config_from_cli(cli, /*ec2=*/true);
     const int samples = cli.get_int("samples", 100);
 

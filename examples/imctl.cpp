@@ -25,12 +25,27 @@
  *   place --apps N.mg,C.libq,H.KM,M.lmps [--qos 0 --target 0.8]
  *       Profile (or reuse cached) models for a four-workload mix and
  *       run the interference-aware placement search.
+ *
+ *   campaign [--passes 3] [--epsilon 0.05] [--apps A,B,...]
+ *       Replay the fig06+fig07+table3 profiling session (each pass
+ *       profiles every app with exhaustive + 4 cheaper algorithms)
+ *       through one shared RunService and report its
+ *       submitted/executed/cache-hit accounting.
+ *
+ * Observability (all subcommands): --metrics prints an imc::obs
+ * counter/gauge/histogram dump to stdout at exit; --metrics-out FILE
+ * writes it to FILE (JSON when FILE ends in ".json"); --trace-out
+ * FILE writes a Chrome-trace JSON timeline loadable in
+ * chrome://tracing. Without these flags the obs layer stays disabled
+ * and output is byte-identical to earlier releases.
  */
 
 #include <iostream>
 #include <string>
 
+#include "bench_util.hpp"
 #include "common/cli.hpp"
+#include "common/obs.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -208,19 +223,61 @@ cmd_place(const Cli& cli)
     return found.qos_met ? 0 : 1;
 }
 
+int
+cmd_campaign(const Cli& cli)
+{
+    const auto cfg = benchutil::config_from_cli(cli, cli.has("ec2"));
+    const double epsilon = cli.get_double("epsilon", 0.05);
+    const auto apps = benchutil::apps_from_cli(cli);
+    const int passes = cli.get_int("passes", 3);
+    auto service = benchutil::service_from_cli(cli);
+
+    std::cout << "Profiling campaign: " << passes << " passes x "
+              << apps.size()
+              << " apps x (exhaustive + 4 algorithms); cluster="
+              << cfg.cluster.name << ", epsilon=" << epsilon
+              << ", seed=" << cfg.seed << ", reps=" << cfg.reps
+              << ", threads=" << service->threads() << "\n\n";
+
+    Table table({"app", "algorithm", "cost %", "error %"});
+    for (int pass = 0; pass < passes; ++pass) {
+        for (const auto& app : apps) {
+            const auto outcomes = benchutil::profiling_campaign(
+                app, cfg, epsilon, service.get());
+            if (pass > 0)
+                continue; // later passes only exercise the cache
+            for (const auto& outcome : outcomes) {
+                table.add_row({app.abbrev,
+                               core::to_string(outcome.algorithm),
+                               fmt_fixed(outcome.cost_pct, 1),
+                               fmt_fixed(outcome.error_pct, 2)});
+            }
+        }
+    }
+    table.print(std::cout);
+
+    const auto stats = service->stats();
+    std::cout << "\nRunService: " << stats.submitted << " submitted, "
+              << stats.executed << " executed, " << stats.cache_hits
+              << " cache hits\n";
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
     if (argc < 2) {
-        std::cerr << "usage: imctl <profile|show|predict|place> "
+        std::cerr << "usage: imctl "
+                     "<profile|show|predict|place|campaign> "
                      "[options]\n";
         return 2;
     }
     const std::string command = argv[1];
     const Cli cli(argc - 1, argv + 1);
     try {
+        const obs::Session obs_session(cli);
         if (command == "profile")
             return cmd_profile(cli);
         if (command == "show")
@@ -229,6 +286,8 @@ main(int argc, char** argv)
             return cmd_predict(cli);
         if (command == "place")
             return cmd_place(cli);
+        if (command == "campaign")
+            return cmd_campaign(cli);
         std::cerr << "imctl: unknown command '" << command << "'\n";
         return 2;
     } catch (const Error& e) {

@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "common/cli.hpp"
+#include "common/obs.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/registry.hpp"
@@ -28,6 +29,7 @@ int
 main(int argc, char** argv)
 {
     const Cli cli(argc, argv);
+    const obs::Session obs_session(cli);
     workload::RunConfig cfg;
     cfg.seed = cli.get_u64("seed", 3);
     cfg.reps = cli.get_int("reps", 2);

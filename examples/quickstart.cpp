@@ -17,6 +17,7 @@
 #include <iostream>
 
 #include "common/cli.hpp"
+#include "common/obs.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "core/registry.hpp"
@@ -30,6 +31,7 @@ int
 main(int argc, char** argv)
 {
     const Cli cli(argc, argv);
+    const obs::Session obs_session(cli);
 
     // 1. The cluster profile and the applications involved.
     workload::RunConfig cfg;

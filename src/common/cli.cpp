@@ -1,8 +1,42 @@
 #include "common/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
+
+#include "common/error.hpp"
 
 namespace imc {
+
+namespace {
+
+// Numeric options parse strictly: the whole value must be one
+// well-formed number, otherwise ConfigError. The pre-strict parser
+// used atoi/atof, which silently turned "--reps abc" into 0 and
+// "--alpha 0.3x" into 0.3 — corrupted experiments instead of a
+// loud failure.
+
+/** ConfigError naming the flag and the offending value. */
+[[noreturn]] void
+bad_value(const std::string& flag, const std::string& value,
+          const char* expected)
+{
+    throw ConfigError("--" + flag + ": expected " + expected +
+                      ", got '" + value + "'");
+}
+
+long long
+parse_ll(const std::string& flag, const std::string& v)
+{
+    errno = 0;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0' || errno == ERANGE)
+        bad_value(flag, v, "an integer");
+    return parsed;
+}
+
+} // namespace
 
 Cli::Cli(int argc, const char* const* argv)
 {
@@ -10,11 +44,18 @@ Cli::Cli(int argc, const char* const* argv)
         std::string arg = argv[i];
         if (arg.rfind("--", 0) != 0)
             continue;
+        std::string key = arg.substr(2);
         std::string value;
-        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        // "--flag=value" binds inline; "--flag value" consumes the
+        // next argument unless it is itself a flag.
+        if (const auto eq = key.find('='); eq != std::string::npos) {
+            value = key.substr(eq + 1);
+            key.resize(eq);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
             value = argv[++i];
         }
-        options_.emplace_back(arg.substr(2), value);
+        options_.emplace_back(std::move(key), std::move(value));
     }
 }
 
@@ -42,40 +83,63 @@ int
 Cli::get_int(const std::string& flag, int def) const
 {
     const std::string v = get(flag, "");
-    return v.empty() ? def : std::atoi(v.c_str());
+    if (v.empty())
+        return def;
+    const long long parsed = parse_ll(flag, v);
+    if (parsed < std::numeric_limits<int>::min() ||
+        parsed > std::numeric_limits<int>::max())
+        bad_value(flag, v, "an int-range integer");
+    return static_cast<int>(parsed);
 }
 
 double
 Cli::get_double(const std::string& flag, double def) const
 {
     const std::string v = get(flag, "");
-    return v.empty() ? def : std::atof(v.c_str());
+    if (v.empty())
+        return def;
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0' || errno == ERANGE)
+        bad_value(flag, v, "a number");
+    return parsed;
 }
 
 std::uint64_t
 Cli::get_u64(const std::string& flag, std::uint64_t def) const
 {
     const std::string v = get(flag, "");
-    return v.empty() ? def
-                     : static_cast<std::uint64_t>(
-                           std::strtoull(v.c_str(), nullptr, 10));
+    if (v.empty())
+        return def;
+    if (v[0] == '-')
+        bad_value(flag, v, "a non-negative integer");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0' || errno == ERANGE)
+        bad_value(flag, v, "a non-negative integer");
+    return static_cast<std::uint64_t>(parsed);
 }
 
 std::vector<std::string>
 Cli::get_list(const std::string& flag) const
 {
     std::vector<std::string> out;
-    std::string v = get(flag, "");
-    if (v.empty())
-        return out;
+    const std::string v = get(flag, "");
     std::size_t pos = 0;
+    // Empty tokens ("a,,b", trailing commas) are skipped rather than
+    // forwarded: every consumer treats items as names, and an empty
+    // name was only ever a silent lookup failure downstream.
     while (pos <= v.size()) {
         const std::size_t comma = v.find(',', pos);
-        if (comma == std::string::npos) {
-            out.push_back(v.substr(pos));
+        const std::size_t end =
+            comma == std::string::npos ? v.size() : comma;
+        if (end > pos)
+            out.push_back(v.substr(pos, end - pos));
+        if (comma == std::string::npos)
             break;
-        }
-        out.push_back(v.substr(pos, comma - pos));
         pos = comma + 1;
     }
     return out;

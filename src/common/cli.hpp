@@ -4,8 +4,11 @@
 /**
  * @file
  * Minimal command-line option parsing shared by the benchmark
- * harnesses and examples. Supports "--flag value" and bare "--flag"
- * switches; everything is optional with a default.
+ * harnesses and examples. Supports "--flag value", "--flag=value",
+ * and bare "--flag" switches; everything is optional with a default.
+ * Numeric accessors parse strictly: a malformed value ("--reps abc",
+ * "--alpha 0.3x") raises ConfigError instead of being silently
+ * mangled by atoi/atof semantics.
  */
 
 #include <cstdint>
@@ -27,17 +30,19 @@ class Cli {
     std::string get(const std::string& flag,
                     const std::string& def) const;
 
-    /** Integer-valued option. */
+    /** Integer-valued option; ConfigError on a malformed value. */
     int get_int(const std::string& flag, int def) const;
 
-    /** Double-valued option. */
+    /** Double-valued option; ConfigError on a malformed value. */
     double get_double(const std::string& flag, double def) const;
 
-    /** 64-bit option (e.g. --seed). */
+    /** 64-bit option (e.g. --seed); ConfigError on a malformed or
+     *  negative value. */
     std::uint64_t get_u64(const std::string& flag,
                           std::uint64_t def) const;
 
-    /** Split a comma-separated option into items; empty when absent. */
+    /** Split a comma-separated option into items; empty when absent.
+     *  Empty tokens ("a,,b", trailing comma) are skipped. */
     std::vector<std::string> get_list(const std::string& flag) const;
 
   private:

@@ -1,0 +1,198 @@
+#ifndef IMC_COMMON_OBS_HPP
+#define IMC_COMMON_OBS_HPP
+
+/**
+ * @file
+ * imc::obs — a low-overhead, thread-safe observability layer: named
+ * counters, gauges, and value histograms, plus scoped timing spans
+ * that export as Chrome-trace JSON ("chrome://tracing" / Perfetto
+ * format: a JSON array of complete events) and as a flat metrics
+ * text/JSON dump.
+ *
+ * The layer is *disabled by default* and every recording entry point
+ * starts with one relaxed atomic load; nothing is allocated, locked,
+ * or timed until set_enabled(true) (which the obs::Session RAII
+ * helper calls when a --metrics/--metrics-out/--trace-out flag is
+ * present). Recording never changes a measured value, an RNG stream,
+ * or any program output, so figure/table reproductions are
+ * byte-identical with the layer off — and bit-identical (just
+ * chattier) with it on. Defining IMC_OBS_DISABLED at compile time
+ * additionally compiles every entry point down to an empty inline
+ * (the zero-cost escape hatch for perf-paranoid builds).
+ *
+ * Naming convention: dotted lowercase paths, "<subsystem>.<what>"
+ * (e.g. "runservice.cache_hits", "anneal.accepted"). A Span named
+ * "x" also feeds a histogram named "x.us" with its duration in
+ * microseconds.
+ */
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace imc {
+class Cli;
+}
+
+namespace imc::obs {
+
+#ifndef IMC_OBS_DISABLED
+
+/** Globally enable/disable collection (off at startup). */
+void set_enabled(bool on);
+
+/** True when collection is on (one relaxed atomic load). */
+bool enabled();
+
+/** Add @p delta to the named monotonic counter. */
+void count(const std::string& name, std::uint64_t delta = 1);
+
+/** Set the named gauge to @p value (last write wins). */
+void gauge_set(const std::string& name, double value);
+
+/** Raise the named gauge to @p value if it is the new maximum. */
+void gauge_max(const std::string& name, double value);
+
+/**
+ * Record one sample into the named histogram (count/sum/min/max plus
+ * power-of-two magnitude buckets). Non-finite samples are counted in
+ * the "obs.nonfinite_samples" counter instead of poisoning the sums.
+ */
+void observe(const std::string& name, double value);
+
+/**
+ * Emit one Chrome-trace counter sample (ph "C") — a time series the
+ * trace viewer plots, e.g. the annealer's best-energy trajectory.
+ */
+void trace_counter(const std::string& name, double value);
+
+/**
+ * Scoped timing span. While collection is enabled, construction
+ * stamps a start time and destruction records a Chrome-trace
+ * complete event (ph "X") on this thread's track plus a "<name>.us"
+ * histogram sample. When disabled, construction is a relaxed load
+ * and destruction a branch.
+ */
+class Span {
+  public:
+    explicit Span(std::string name);
+    ~Span();
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+  private:
+    std::string name_;
+    std::uint64_t start_us_ = 0;
+    bool active_ = false;
+};
+
+// --- Snapshots (tests and ad-hoc introspection) -----------------------
+
+/** Current value of a counter (0 when never touched). */
+std::uint64_t counter_value(const std::string& name);
+
+/** Current value of a gauge (0 when never touched). */
+double gauge_value(const std::string& name);
+
+/** Aggregates of one histogram. */
+struct HistogramSnapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean() const
+    {
+        return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+};
+HistogramSnapshot histogram_snapshot(const std::string& name);
+
+/** Trace events recorded so far (complete + counter events). */
+std::size_t trace_event_count();
+
+// --- Export -----------------------------------------------------------
+
+/** Flat text dump: one sorted "counter|gauge|hist name ..." line each. */
+void write_metrics_text(std::ostream& os);
+
+/** The same dump as one JSON object. */
+void write_metrics_json(std::ostream& os);
+
+/**
+ * Chrome-trace dump: a valid JSON array of event objects
+ * ("chrome://tracing" loads it directly).
+ */
+void write_trace_json(std::ostream& os);
+
+/** Drop every metric and trace event (test isolation). */
+void reset();
+
+/**
+ * RAII wiring of the standard CLI surface. The constructor enables
+ * collection when any of --metrics (print a text dump to stdout at
+ * scope exit), --metrics-out FILE (write the dump to FILE; JSON when
+ * FILE ends in ".json"), or --trace-out FILE (write the Chrome-trace
+ * JSON to FILE) is present; the destructor performs the requested
+ * exports. With none of the flags the whole object is inert.
+ */
+class Session {
+  public:
+    explicit Session(const Cli& cli);
+    ~Session();
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+  private:
+    bool metrics_stdout_ = false;
+    std::string metrics_path_;
+    std::string trace_path_;
+};
+
+#else // IMC_OBS_DISABLED: compile every entry point to nothing.
+
+inline void set_enabled(bool) {}
+inline bool enabled() { return false; }
+inline void count(const std::string&, std::uint64_t = 1) {}
+inline void gauge_set(const std::string&, double) {}
+inline void gauge_max(const std::string&, double) {}
+inline void observe(const std::string&, double) {}
+inline void trace_counter(const std::string&, double) {}
+
+class Span {
+  public:
+    explicit Span(const std::string&) {}
+};
+
+struct HistogramSnapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean() const { return 0.0; }
+};
+
+inline std::uint64_t counter_value(const std::string&) { return 0; }
+inline double gauge_value(const std::string&) { return 0.0; }
+inline HistogramSnapshot histogram_snapshot(const std::string&)
+{
+    return {};
+}
+inline std::size_t trace_event_count() { return 0; }
+inline void write_metrics_text(std::ostream&) {}
+inline void write_metrics_json(std::ostream&) {}
+inline void write_trace_json(std::ostream&) {}
+inline void reset() {}
+
+class Session {
+  public:
+    explicit Session(const Cli&) {}
+};
+
+#endif // IMC_OBS_DISABLED
+
+} // namespace imc::obs
+
+#endif // IMC_COMMON_OBS_HPP

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 
 namespace imc::core {
 
@@ -23,8 +24,10 @@ CountingMeasure::operator()(int pressure, int nodes)
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         const auto it = cache_.find(key);
-        if (it != cache_.end())
+        if (it != cache_.end()) {
+            obs::count("measure.cache_hits");
             return it->second;
+        }
     }
     // Measure outside the lock so independent settings (row-parallel
     // profiling) proceed concurrently. Two racers on the same setting
@@ -32,11 +35,17 @@ CountingMeasure::operator()(int pressure, int nodes)
     // service-backed inner runs the cluster job once anyway); only the
     // first arrival is counted.
     const double value = inner_(pressure, nodes);
-    const std::lock_guard<std::mutex> lock(mutex_);
-    const auto [it, inserted] = cache_.emplace(key, value);
-    if (inserted)
-        ++measured_;
-    return it->second;
+    bool counted = false;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto [it, inserted] = cache_.emplace(key, value);
+        counted = inserted;
+        if (inserted)
+            ++measured_;
+    }
+    if (counted)
+        obs::count("measure.measured");
+    return value;
 }
 
 void
@@ -52,8 +61,10 @@ CountingMeasure::prefetch(const std::vector<Setting>& settings)
                 missing.push_back(s);
         }
     }
-    if (!missing.empty())
+    if (!missing.empty()) {
+        obs::count("measure.prefetched", missing.size());
         prefetch_(missing);
+    }
 }
 
 int

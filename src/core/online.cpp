@@ -31,6 +31,11 @@ OnlineRefiner::OnlineRefiner(InterferenceModel model, double alpha,
 std::size_t
 OnlineRefiner::bucket_of(double pressure) const
 {
+    // std::clamp propagates NaN, and casting a NaN fraction to
+    // size_t is undefined behaviour — reject non-finite input before
+    // it can silently index a garbage bucket.
+    require(std::isfinite(pressure),
+            "OnlineRefiner: non-finite pressure");
     const double top = model_.matrix().pressures().back();
     const double frac =
         std::clamp(pressure / top, 0.0, 1.0 - 1e-12);
@@ -60,7 +65,13 @@ void
 OnlineRefiner::observe(const std::vector<double>& pressures,
                        double actual)
 {
+    require(std::isfinite(actual),
+            "OnlineRefiner: non-finite observation");
     require(actual > 0.0, "OnlineRefiner: nonpositive observation");
+    for (double p : pressures) {
+        require(std::isfinite(p),
+                "OnlineRefiner: non-finite pressure observed");
+    }
     const Homogeneous homog = convert(model_.policy(), pressures);
     if (homog.nodes <= 0.0)
         return; // solo observations carry no interference signal

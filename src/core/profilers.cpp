@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/interp.hpp"
+#include "common/obs.hpp"
 #include "common/stats.hpp"
 
 namespace imc::core {
@@ -170,15 +171,29 @@ for_each_row(int n, int tasks, const std::function<void(int)>& fn)
 }
 
 ProfileResult
-finish(Grid grid, CountingMeasure& measure, const ProfileOptions& opts)
+finish(Grid grid, CountingMeasure& measure, const ProfileOptions& opts,
+       const char* algo)
 {
     for (const auto& row : grid) {
         for (double v : row)
             invariant(!is_hole(v), "profilers: unfilled hole remains");
     }
-    return ProfileResult{
+    ProfileResult result{
         SensitivityMatrix(std::move(grid), opts.grid),
         measure.measured(), opts.pressure_levels() * opts.hosts};
+    if (obs::enabled()) {
+        // Rows measured vs inferred per algorithm (Table 3's cost
+        // accounting, live). measured() is cumulative per wrapper, so
+        // with a shared wrapper the counters track the union.
+        const std::string prefix = std::string("profiler.") + algo;
+        obs::count(prefix + ".runs");
+        obs::count(prefix + ".measured",
+                   static_cast<std::uint64_t>(result.measured));
+        obs::count(prefix + ".interpolated",
+                   static_cast<std::uint64_t>(
+                       result.total_settings - result.measured));
+    }
+    return result;
 }
 
 } // namespace
@@ -186,6 +201,7 @@ finish(Grid grid, CountingMeasure& measure, const ProfileOptions& opts)
 ProfileResult
 profile_exhaustive(CountingMeasure& measure, const ProfileOptions& opts)
 {
+    const obs::Span span("profile.exhaustive");
     Grid grid = make_grid(opts);
     const int n = opts.pressure_levels();
     const int m = opts.hosts;
@@ -206,12 +222,13 @@ profile_exhaustive(CountingMeasure& measure, const ProfileOptions& opts)
                 [static_cast<std::size_t>(j)] = measure(p, j);
         }
     });
-    return finish(std::move(grid), measure, opts);
+    return finish(std::move(grid), measure, opts, "exhaustive");
 }
 
 ProfileResult
 profile_binary_brute(CountingMeasure& measure, const ProfileOptions& opts)
 {
+    const obs::Span span("profile.binary-brute");
     Grid grid = make_grid(opts);
     const int n = opts.pressure_levels();
     const int m = opts.hosts;
@@ -232,13 +249,14 @@ profile_binary_brute(CountingMeasure& measure, const ProfileOptions& opts)
         binary_row(grid, measure, p, 0, m, opts.epsilon);
         interpolate_row(grid, p);
     });
-    return finish(std::move(grid), measure, opts);
+    return finish(std::move(grid), measure, opts, "binary-brute");
 }
 
 ProfileResult
 profile_binary_optimized(CountingMeasure& measure,
                          const ProfileOptions& opts)
 {
+    const obs::Span span("profile.binary-optimized");
     Grid grid = make_grid(opts);
     const int n = opts.pressure_levels();
     const int m = opts.hosts;
@@ -284,7 +302,8 @@ profile_binary_optimized(CountingMeasure& measure,
             }
         }
     }
-    return finish(std::move(grid), measure, opts);
+    return finish(std::move(grid), measure, opts,
+                  "binary-optimized");
 }
 
 ProfileResult
@@ -293,6 +312,7 @@ profile_random(CountingMeasure& measure, const ProfileOptions& opts,
 {
     require(fraction > 0.0 && fraction <= 1.0,
             "profile_random: fraction must be in (0, 1]");
+    const obs::Span span("profile.random");
     Grid grid = make_grid(opts);
     const int n = opts.pressure_levels();
     const int m = opts.hosts;
@@ -333,7 +353,7 @@ profile_random(CountingMeasure& measure, const ProfileOptions& opts,
 
     for (int p = 1; p <= n; ++p)
         interpolate_row(grid, p);
-    return finish(std::move(grid), measure, opts);
+    return finish(std::move(grid), measure, opts, "random");
 }
 
 double

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 #include "core/serialize.hpp"
 
 namespace imc::core {
@@ -119,6 +120,7 @@ ModelRegistry::model(const workload::AppSpec& app, int deploy_nodes)
     require(deploy_nodes >= 1 &&
                 deploy_nodes <= cfg_.cluster.num_nodes,
             "ModelRegistry: deployment size out of range");
+    obs::count("registry.requests");
     const auto key = std::make_pair(app.abbrev, deploy_nodes);
     std::shared_ptr<Slot> slot;
     {
@@ -184,8 +186,11 @@ ModelRegistry::build(const workload::AppSpec& app, int deploy_nodes)
         BuiltModel loaded{load_model_file(path), {}, 0.0, true};
         require(loaded.model.app() == app.abbrev,
                 "ModelRegistry: cached model app mismatch in " + path);
+        obs::count("registry.disk_cache_hits");
         return loaded;
     }
+    const obs::Span span("registry.build:" + app.abbrev);
+    obs::count("registry.builds");
 
     std::vector<sim::NodeId> nodes(
         static_cast<std::size_t>(deploy_nodes));

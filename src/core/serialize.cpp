@@ -46,6 +46,23 @@ expect(std::istream& is, const std::string& keyword)
     return first == std::string::npos ? "" : rest.substr(first);
 }
 
+/**
+ * After the numeric reads of a line, require that nothing but
+ * whitespace remains: a trailing non-numeric token ("row 1 1 1.2oops")
+ * used to silently truncate the parsed values.
+ */
+void
+require_fully_consumed(std::istringstream& ss, const char* what)
+{
+    ss.clear(); // the value loop left failbit (and maybe eofbit) set
+    std::string trailing;
+    if (ss >> trailing) {
+        throw ConfigError(
+            std::string("load_model: trailing garbage '") + trailing +
+            "' on " + what + " line");
+    }
+}
+
 } // namespace
 
 HeteroPolicy
@@ -98,6 +115,7 @@ load_model(std::istream& is)
         std::istringstream ss(expect(is, "score"));
         require(static_cast<bool>(ss >> score),
                 "load_model: bad score");
+        require_fully_consumed(ss, "score");
     }
 
     std::vector<double> pressures;
@@ -106,6 +124,7 @@ load_model(std::istream& is)
         double p;
         while (ss >> p)
             pressures.push_back(p);
+        require_fully_consumed(ss, "pressures");
         require(!pressures.empty(), "load_model: empty pressure grid");
     }
 
@@ -119,9 +138,24 @@ load_model(std::istream& is)
         double v;
         while (ss >> v)
             rows[i].push_back(v);
+        require_fully_consumed(ss, "row");
         require(rows[i].size() >= 2, "load_model: row too short");
         require(i == 0 || rows[i].size() == rows[0].size(),
                 "load_model: ragged rows");
+    }
+
+    // A "row" line beyond the last expected one used to be silently
+    // ignored — reject it (the matrix the writer meant is ambiguous).
+    {
+        std::string line;
+        if (next_line(is, line)) {
+            std::istringstream ss(line);
+            std::string head;
+            ss >> head;
+            require(head != "row",
+                    "load_model: extra 'row' line after row " +
+                        std::to_string(pressures.size()));
+        }
     }
 
     // SensitivityMatrix and InterferenceModel constructors re-validate

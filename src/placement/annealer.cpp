@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 #include "placement/delta_scorer.hpp"
 
 namespace imc::placement {
@@ -69,6 +70,7 @@ anneal_chain(const Placement& initial, const Evaluator& evaluator,
              Goal goal, const std::optional<QosConstraint>& qos,
              const AnnealOptions& opts, Rng rng)
 {
+    const obs::Span chain_span("anneal.chain");
     const double direction =
         goal == Goal::MinimizeTotalTime ? 1.0 : -1.0;
 
@@ -120,12 +122,22 @@ anneal_chain(const Placement& initial, const Evaluator& evaluator,
             if (cand.better_than(best_score, direction)) {
                 best = scorer.placement();
                 best_score = cand;
+                // Best-energy trajectory: one counter sample per
+                // improvement, viewable as a descending staircase in
+                // the trace timeline.
+                obs::trace_counter("anneal.best_total", cand.total);
             }
         } else {
             scorer.undo();
         }
     }
 
+    if (obs::enabled()) {
+        obs::count("anneal.proposals",
+                   static_cast<std::uint64_t>(opts.iterations));
+        obs::count("anneal.accepted",
+                   static_cast<std::uint64_t>(accepted));
+    }
     return ChainResult{std::move(best), best_score, accepted};
 }
 
@@ -153,6 +165,7 @@ anneal(Placement initial, const Evaluator& evaluator, Goal goal,
         if (chains < 1)
             chains = 1;
     }
+    obs::count("anneal.chains", static_cast<std::uint64_t>(chains));
 
     const double direction =
         goal == Goal::MinimizeTotalTime ? 1.0 : -1.0;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 
 namespace imc::workload {
 
@@ -280,6 +281,7 @@ RunService::worker_loop()
         double value = 0.0;
         std::exception_ptr error;
         try {
+            const obs::Span span("runservice.execute");
             value = execute_request(job.req);
         } catch (...) {
             error = std::current_exception();
@@ -294,6 +296,7 @@ RunService::submit(const RunRequest& req)
     std::string key = canonical_key(req);
     std::shared_ptr<Handle::Entry> entry;
     bool fresh = false;
+    std::size_t queue_depth = 0;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.submitted;
@@ -309,6 +312,18 @@ RunService::submit(const RunRequest& req)
             if (threads_ > 1)
                 queue_.push_back(Job{req, entry});
         }
+        queue_depth = queue_.size();
+    }
+    // Mirror the accounting into the obs registry (outside the
+    // service lock; obs does its own, never-nested synchronization).
+    if (obs::enabled()) {
+        obs::count("runservice.submitted");
+        if (fresh)
+            obs::count("runservice.executed");
+        else
+            obs::count("runservice.cache_hits");
+        obs::gauge_max("runservice.queue_depth.max",
+                       static_cast<double>(queue_depth));
     }
     if (fresh) {
         if (threads_ > 1) {
@@ -318,6 +333,7 @@ RunService::submit(const RunRequest& req)
             double value = 0.0;
             std::exception_ptr error;
             try {
+                const obs::Span span("runservice.execute");
                 value = execute_request(req);
             } catch (...) {
                 error = std::current_exception();
@@ -331,6 +347,11 @@ RunService::submit(const RunRequest& req)
 std::vector<double>
 RunService::run_all(const std::vector<RunRequest>& reqs)
 {
+    if (obs::enabled()) {
+        obs::count("runservice.batches");
+        obs::observe("runservice.batch_size",
+                     static_cast<double>(reqs.size()));
+    }
     std::vector<Handle> handles;
     handles.reserve(reqs.size());
     for (const auto& req : reqs)

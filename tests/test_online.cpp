@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/error.hpp"
 #include "core/online.hpp"
 
@@ -104,6 +106,45 @@ TEST(OnlineRefiner, ValidatesArguments)
     EXPECT_THROW(OnlineRefiner(base_model(), 0.5, 0), ConfigError);
     OnlineRefiner refiner(base_model());
     EXPECT_THROW(refiner.observe({1.0}, 0.0), ConfigError);
+}
+
+// Regression: a NaN pressure used to survive std::clamp (NaN
+// propagates through it) and reach a double->size_t cast in
+// bucket_of, which is undefined behaviour — under UBSan this test
+// crashed before the guards landed. Non-finite inputs must instead
+// be a clear ConfigError.
+TEST(OnlineRefiner, NonFinitePressuresRejected)
+{
+    constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    OnlineRefiner refiner(base_model(), 0.5);
+
+    EXPECT_THROW(refiner.correction_at(nan), ConfigError);
+    EXPECT_THROW(refiner.correction_at(inf), ConfigError);
+    EXPECT_THROW(refiner.correction_at(-inf), ConfigError);
+
+    EXPECT_THROW(refiner.observe({4.0, nan, 0.0, 0.0}, 1.5),
+                 ConfigError);
+    EXPECT_THROW(refiner.observe({4.0, inf, 0.0, 0.0}, 1.5),
+                 ConfigError);
+
+    // And the refiner must be untouched by the rejected updates.
+    EXPECT_EQ(refiner.observations(), 0);
+}
+
+TEST(OnlineRefiner, NonFiniteObservationRejected)
+{
+    constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    OnlineRefiner refiner(base_model(), 0.5);
+    const std::vector<double> pressures{4.0, 4.0, 0.0, 0.0};
+
+    EXPECT_THROW(refiner.observe(pressures, nan), ConfigError);
+    EXPECT_THROW(refiner.observe(pressures, inf), ConfigError);
+    EXPECT_EQ(refiner.observations(), 0);
+
+    refiner.observe(pressures, 1.5); // finite still works
+    EXPECT_EQ(refiner.observations(), 1);
 }
 
 TEST(OnlineRefiner, EwmaConvergesGeometrically)

@@ -125,6 +125,110 @@ TEST(Serialize, RowsOutOfOrderRejected)
     EXPECT_THROW(load_model(corrupted), ConfigError);
 }
 
+// Regression: trailing non-numeric junk after the values of a
+// "score"/"pressures"/"row" line used to be silently dropped (the
+// value loop just stopped at the first bad token), loading a model
+// other than the one the file spelled out.
+TEST(Serialize, TrailingGarbageOnScoreRejected)
+{
+    std::stringstream full;
+    save_model(full, sample_model());
+    std::string text = full.str();
+    const auto pos = text.find('\n', text.find("score "));
+    ASSERT_NE(pos, std::string::npos);
+    text.insert(pos, " oops");
+    std::stringstream corrupted(text);
+    EXPECT_THROW(load_model(corrupted), ConfigError);
+}
+
+TEST(Serialize, TrailingGarbageOnPressuresRejected)
+{
+    std::stringstream full;
+    save_model(full, sample_model());
+    std::string text = full.str();
+    const auto pos = text.find('\n', text.find("pressures "));
+    ASSERT_NE(pos, std::string::npos);
+    text.insert(pos, " 9.9x");
+    std::stringstream corrupted(text);
+    try {
+        load_model(corrupted);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+        EXPECT_NE(std::string(e.what()).find("trailing garbage"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Serialize, TrailingGarbageOnRowRejected)
+{
+    std::stringstream full;
+    save_model(full, sample_model());
+    std::string text = full.str();
+    const auto pos = text.find('\n', text.find("row 2"));
+    ASSERT_NE(pos, std::string::npos);
+    text.insert(pos, " nan-ish");
+    std::stringstream corrupted(text);
+    EXPECT_THROW(load_model(corrupted), ConfigError);
+}
+
+// Regression: a fourth "row" line in a three-row model used to be
+// silently ignored; the matrix the writer meant is ambiguous.
+TEST(Serialize, ExtraRowLineRejected)
+{
+    std::stringstream full;
+    save_model(full, sample_model());
+    std::string text = full.str();
+    text += "row 4 1 1.6 1.7\n";
+    std::stringstream corrupted(text);
+    try {
+        load_model(corrupted);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+        EXPECT_NE(std::string(e.what()).find("extra 'row' line"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Serialize, TrailingNonRowContentIgnored)
+{
+    // Comments or other sections after the matrix stay legal.
+    std::stringstream full;
+    save_model(full, sample_model());
+    std::stringstream with_tail(full.str() +
+                                "# trailing comment\nnotes ok\n");
+    EXPECT_NO_THROW(load_model(with_tail));
+}
+
+// Property: save -> load is the identity, including an app name
+// containing spaces (the "app" line carries the whole remainder).
+TEST(Serialize, RoundTripAppNameWithSpaces)
+{
+    const InterferenceModel original(
+        "My Spacey App v2",
+        SensitivityMatrix({{1.0, 1.2}, {1.0, 1.4}}, {1.0, 4.0}),
+        HeteroPolicy::AllMax, 2.5);
+    std::stringstream buffer;
+    save_model(buffer, original);
+    const auto restored = load_model(buffer);
+    EXPECT_EQ(restored.app(), "My Spacey App v2");
+    EXPECT_EQ(restored.policy(), original.policy());
+    EXPECT_DOUBLE_EQ(restored.bubble_score(),
+                     original.bubble_score());
+    EXPECT_EQ(restored.matrix().pressures(),
+              original.matrix().pressures());
+    for (int i = 1; i <= original.matrix().pressure_levels(); ++i) {
+        for (int j = 0; j <= original.matrix().hosts(); ++j)
+            EXPECT_DOUBLE_EQ(restored.matrix().at(i, j),
+                             original.matrix().at(i, j));
+    }
+    // And a second trip through the text form is byte-stable.
+    std::stringstream again;
+    save_model(again, restored);
+    EXPECT_EQ(again.str(), buffer.str());
+}
+
 TEST(Serialize, MissingFileRejected)
 {
     EXPECT_THROW(load_model_file("/nonexistent/nope.model"),
