@@ -111,7 +111,10 @@ main(int argc, char** argv)
             static_err.mean() - refined_err.mean();
         table.add_row({abbrev, fmt_fixed(static_err.mean(), 2),
                        fmt_fixed(refined_err.mean(), 2),
-                       (gain >= 0 ? "-" : "+") +
+                       // std::string lhs dodges GCC 12's -Wrestrict
+                       // false positive on operator+(const char*,
+                       // string&&) at -O2.
+                       std::string(gain >= 0 ? "-" : "+") +
                            fmt_fixed(std::abs(gain), 2) + " pts"});
     }
     table.print(std::cout);

@@ -72,8 +72,13 @@ main(int argc, char** argv)
         SeriesChart chart(abbrev + " (" + app.name + ")",
                           "nodes");
         std::vector<std::size_t> series;
-        for (int p : pressures)
-            series.push_back(chart.add_series("P" + std::to_string(p)));
+        for (int p : pressures) {
+            // Built via += rather than operator+ to dodge GCC 12's
+            // -Wrestrict false positive (PR105329) at -O2.
+            std::string label = "P";
+            label += std::to_string(p);
+            series.push_back(chart.add_series(label));
+        }
 
         // The full sweep is one batch: the solo baseline plus one
         // loaded run per (pressure, interfering-node count) point.

@@ -52,8 +52,13 @@ main(int argc, char** argv)
         SeriesChart chart(abbrev + " (" + app.name + ")",
                           "interfering VMs");
         std::vector<std::size_t> series;
-        for (int p : pressures)
-            series.push_back(chart.add_series("P" + std::to_string(p)));
+        for (int p : pressures) {
+            // Built via += rather than operator+ to dodge GCC 12's
+            // -Wrestrict false positive (PR105329) at -O2.
+            std::string label = "P";
+            label += std::to_string(p);
+            series.push_back(chart.add_series(label));
+        }
         // One batch per app: solo baseline + every swept point (the
         // service deduplicates the j == 0 repeats of the solo run).
         std::vector<workload::RunRequest> reqs;

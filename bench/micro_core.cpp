@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/cast.hpp"
 #include "core/model.hpp"
 #include "placement/annealer.hpp"
 #include "placement/evaluator.hpp"
@@ -40,9 +41,9 @@ BM_ContentionSolve(benchmark::State& state)
     std::vector<sim::TenantDemand> tenants(
         static_cast<std::size_t>(state.range(0)));
     for (std::size_t i = 0; i < tenants.size(); ++i) {
-        tenants[i].gen_mb = 4.0 + 2.0 * i;
-        tenants[i].need_mb = 6.0 + 1.5 * i;
-        tenants[i].bw_gbps = 3.0 + i;
+        tenants[i].gen_mb = 4.0 + 2.0 * as_double(i);
+        tenants[i].need_mb = 6.0 + 1.5 * as_double(i);
+        tenants[i].bw_gbps = 3.0 + as_double(i);
         tenants[i].mem_intensity = 0.5;
     }
     for (auto _ : state) {

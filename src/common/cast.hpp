@@ -1,0 +1,90 @@
+#ifndef IMC_COMMON_CAST_HPP
+#define IMC_COMMON_CAST_HPP
+
+/**
+ * @file
+ * Checked numeric casts.
+ *
+ * The tree builds with -Wconversion; a narrowing conversion is
+ * either provably safe (make that visible with these helpers) or a
+ * bug (the helpers throw LogicBug instead of wrapping silently).
+ * Prefer these over bare static_cast at any conversion the compiler
+ * flags: the cast site then documents the intent AND verifies it at
+ * runtime, in release builds too. Float-to-integer casts in
+ * particular are range-checked BEFORE converting — a NaN or
+ * out-of-range double into a size_t is undefined behaviour, not
+ * just a wrong number (the OnlineRefiner bug PR 3 fixed).
+ */
+
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace imc {
+
+/**
+ * static_cast<To>(v) that throws LogicBug when the value does not
+ * survive the conversion (overflow, sign loss, truncation, NaN).
+ */
+template <typename To, typename From>
+To
+checked_cast(From v)
+{
+    static_assert(std::is_arithmetic_v<To> &&
+                      std::is_arithmetic_v<From>,
+                  "checked_cast is for arithmetic types");
+    if constexpr (std::is_integral_v<To> &&
+                  std::is_integral_v<From>) {
+        if (!std::in_range<To>(v))
+            throw LogicBug("checked_cast: integer value " +
+                           std::to_string(v) +
+                           " does not fit the target type");
+        return static_cast<To>(v);
+    } else if constexpr (std::is_integral_v<To>) {
+        // Float to integer: the cast itself is UB out of range, so
+        // bound-check first. long double carries a 64-bit mantissa
+        // on this target, so the To limits convert exactly; NaN
+        // fails both comparisons.
+        const auto w = static_cast<long double>(v);
+        if (!(w >= static_cast<long double>(
+                       std::numeric_limits<To>::min()) &&
+              w <= static_cast<long double>(
+                       std::numeric_limits<To>::max())) ||
+            static_cast<From>(static_cast<To>(v)) != v) {
+            throw LogicBug(
+                "checked_cast: float value " + std::to_string(v) +
+                " has no exact representation in the target type");
+        }
+        return static_cast<To>(v);
+    } else {
+        // Anything to float: cast, then require an exact round
+        // trip.
+        const To out = static_cast<To>(v);
+        if (static_cast<From>(out) != v)
+            throw LogicBug(
+                "checked_cast: value " + std::to_string(v) +
+                " is not exactly representable in the target type");
+        return out;
+    }
+}
+
+/**
+ * Exact conversion of an integer count to double. Counts in this
+ * project (nodes, events, samples) are far below 2^53, where every
+ * integer is representable; the check keeps that assumption honest.
+ */
+template <typename From>
+double
+as_double(From v)
+{
+    static_assert(std::is_integral_v<From>,
+                  "as_double converts integer counts");
+    return checked_cast<double>(v);
+}
+
+} // namespace imc
+
+#endif // IMC_COMMON_CAST_HPP

@@ -30,6 +30,9 @@ parse_ll(const std::string& flag, const std::string& v)
 {
     errno = 0;
     char* end = nullptr;
+    // imc-lint: allow(banned-number-parse): this IS the strict
+    // parser the rule points everyone at — endptr + errno checked,
+    // trailing garbage rejected, errors name the flag.
     const long long parsed = std::strtoll(v.c_str(), &end, 10);
     if (end == v.c_str() || *end != '\0' || errno == ERANGE)
         bad_value(flag, v, "an integer");
@@ -100,6 +103,9 @@ Cli::get_double(const std::string& flag, double def) const
         return def;
     errno = 0;
     char* end = nullptr;
+    // imc-lint: allow(banned-number-parse): this IS the strict
+    // parser the rule points everyone at — endptr + errno checked,
+    // trailing garbage rejected, errors name the flag.
     const double parsed = std::strtod(v.c_str(), &end);
     if (end == v.c_str() || *end != '\0' || errno == ERANGE)
         bad_value(flag, v, "a number");
@@ -116,8 +122,10 @@ Cli::get_u64(const std::string& flag, std::uint64_t def) const
         bad_value(flag, v, "a non-negative integer");
     errno = 0;
     char* end = nullptr;
-    const unsigned long long parsed =
-        std::strtoull(v.c_str(), &end, 10);
+    // imc-lint: allow(banned-number-parse): this IS the strict
+    // parser the rule points everyone at — endptr + errno checked,
+    // trailing garbage rejected, errors name the flag.
+    const auto parsed = std::strtoull(v.c_str(), &end, 10);
     if (end == v.c_str() || *end != '\0' || errno == ERANGE)
         bad_value(flag, v, "a non-negative integer");
     return static_cast<std::uint64_t>(parsed);

@@ -142,6 +142,9 @@ json_escape(const std::string& s)
           default:
             if (static_cast<unsigned char>(c) < 0x20) {
                 char buf[8];
+                // imc-lint: allow(banned-printf): \uXXXX escape of a
+                // control byte into a sized stack buffer for the
+                // JSON exporter; not user-facing output.
                 std::snprintf(buf, sizeof buf, "\\u%04x", c);
                 out += buf;
             } else {
@@ -159,6 +162,9 @@ json_number(double v)
     if (!std::isfinite(v))
         return "null"; // cannot appear in sums; belt and braces
     char buf[64];
+    // imc-lint: allow(banned-printf): %.17g is the shortest exact
+    // round-trip double form for the JSON exporter; sized stack
+    // buffer, never user-facing.
     std::snprintf(buf, sizeof buf, "%.17g", v);
     return buf;
 }

@@ -195,4 +195,39 @@ class Session {
 
 } // namespace imc::obs
 
+/**
+ * Gated recording macros — the ONLY way library code may record.
+ *
+ * Each macro forwards to the matching imc::obs function in normal
+ * builds and expands to nothing under IMC_OBS_DISABLED, so argument
+ * expressions (string concatenations, arithmetic) are never even
+ * evaluated: the disabled build is zero-cost by construction, not by
+ * optimizer goodwill. imc-lint's obs-gate rule enforces that src/
+ * code outside this header's own implementation calls these macros
+ * rather than the functions directly.
+ *
+ * Control-plane entry points (obs::enabled via IMC_OBS_ENABLED,
+ * obs::Session, snapshots, exports, reset) are not recording and may
+ * be used directly where gating is not needed.
+ */
+#ifndef IMC_OBS_DISABLED
+#define IMC_OBS_ENABLED() ::imc::obs::enabled()
+#define IMC_OBS_COUNT(...) ::imc::obs::count(__VA_ARGS__)
+#define IMC_OBS_GAUGE_SET(name, value) ::imc::obs::gauge_set(name, value)
+#define IMC_OBS_GAUGE_MAX(name, value) ::imc::obs::gauge_max(name, value)
+#define IMC_OBS_OBSERVE(name, value) ::imc::obs::observe(name, value)
+#define IMC_OBS_TRACE_COUNTER(name, value)                              \
+    ::imc::obs::trace_counter(name, value)
+/** Declares a scoped timing span named @p var in enabled builds. */
+#define IMC_OBS_SPAN(var, ...) const ::imc::obs::Span var(__VA_ARGS__)
+#else
+#define IMC_OBS_ENABLED() (false)
+#define IMC_OBS_COUNT(...) ((void)0)
+#define IMC_OBS_GAUGE_SET(name, value) ((void)0)
+#define IMC_OBS_GAUGE_MAX(name, value) ((void)0)
+#define IMC_OBS_OBSERVE(name, value) ((void)0)
+#define IMC_OBS_TRACE_COUNTER(name, value) ((void)0)
+#define IMC_OBS_SPAN(var, ...) ((void)0)
+#endif // IMC_OBS_DISABLED
+
 #endif // IMC_COMMON_OBS_HPP

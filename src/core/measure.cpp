@@ -25,7 +25,7 @@ CountingMeasure::operator()(int pressure, int nodes)
         const std::lock_guard<std::mutex> lock(mutex_);
         const auto it = cache_.find(key);
         if (it != cache_.end()) {
-            obs::count("measure.cache_hits");
+            IMC_OBS_COUNT("measure.cache_hits");
             return it->second;
         }
     }
@@ -44,7 +44,7 @@ CountingMeasure::operator()(int pressure, int nodes)
             ++measured_;
     }
     if (counted)
-        obs::count("measure.measured");
+        IMC_OBS_COUNT("measure.measured");
     return value;
 }
 
@@ -62,7 +62,7 @@ CountingMeasure::prefetch(const std::vector<Setting>& settings)
         }
     }
     if (!missing.empty()) {
-        obs::count("measure.prefetched", missing.size());
+        IMC_OBS_COUNT("measure.prefetched", missing.size());
         prefetch_(missing);
     }
 }

@@ -99,6 +99,10 @@ class CountingMeasure {
     mutable std::mutex mutex_;
     MeasureFn inner_;
     PrefetchFn prefetch_;
+    // Determinism audit (imc-lint determinism-unordered-iter): find/
+    // emplace only; values and the measured() cost are functions of
+    // the setting set, not of insertion or iteration order
+    // (tests/test_determinism.cpp).
     std::unordered_map<Setting, double, SettingHash> cache_;
     int measured_ = 0;
 };

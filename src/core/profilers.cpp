@@ -181,15 +181,15 @@ finish(Grid grid, CountingMeasure& measure, const ProfileOptions& opts,
     ProfileResult result{
         SensitivityMatrix(std::move(grid), opts.grid),
         measure.measured(), opts.pressure_levels() * opts.hosts};
-    if (obs::enabled()) {
+    if (IMC_OBS_ENABLED()) {
         // Rows measured vs inferred per algorithm (Table 3's cost
         // accounting, live). measured() is cumulative per wrapper, so
         // with a shared wrapper the counters track the union.
         const std::string prefix = std::string("profiler.") + algo;
-        obs::count(prefix + ".runs");
-        obs::count(prefix + ".measured",
+        IMC_OBS_COUNT(prefix + ".runs");
+        IMC_OBS_COUNT(prefix + ".measured",
                    static_cast<std::uint64_t>(result.measured));
-        obs::count(prefix + ".interpolated",
+        IMC_OBS_COUNT(prefix + ".interpolated",
                    static_cast<std::uint64_t>(
                        result.total_settings - result.measured));
     }
@@ -201,7 +201,7 @@ finish(Grid grid, CountingMeasure& measure, const ProfileOptions& opts,
 ProfileResult
 profile_exhaustive(CountingMeasure& measure, const ProfileOptions& opts)
 {
-    const obs::Span span("profile.exhaustive");
+    IMC_OBS_SPAN(span, "profile.exhaustive");
     Grid grid = make_grid(opts);
     const int n = opts.pressure_levels();
     const int m = opts.hosts;
@@ -228,7 +228,7 @@ profile_exhaustive(CountingMeasure& measure, const ProfileOptions& opts)
 ProfileResult
 profile_binary_brute(CountingMeasure& measure, const ProfileOptions& opts)
 {
-    const obs::Span span("profile.binary-brute");
+    IMC_OBS_SPAN(span, "profile.binary-brute");
     Grid grid = make_grid(opts);
     const int n = opts.pressure_levels();
     const int m = opts.hosts;
@@ -256,7 +256,7 @@ ProfileResult
 profile_binary_optimized(CountingMeasure& measure,
                          const ProfileOptions& opts)
 {
-    const obs::Span span("profile.binary-optimized");
+    IMC_OBS_SPAN(span, "profile.binary-optimized");
     Grid grid = make_grid(opts);
     const int n = opts.pressure_levels();
     const int m = opts.hosts;
@@ -312,7 +312,7 @@ profile_random(CountingMeasure& measure, const ProfileOptions& opts,
 {
     require(fraction > 0.0 && fraction <= 1.0,
             "profile_random: fraction must be in (0, 1]");
-    const obs::Span span("profile.random");
+    IMC_OBS_SPAN(span, "profile.random");
     Grid grid = make_grid(opts);
     const int n = opts.pressure_levels();
     const int m = opts.hosts;

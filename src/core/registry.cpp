@@ -106,6 +106,9 @@ ModelRegistry::cache_path(const std::string& abbrev,
     if (opts_.model_cache_dir.empty())
         return {};
     char tail[64];
+    // imc-lint: allow(banned-printf): fixed-width hex of the config
+    // hash for a cache file name, into a sized stack buffer; stable
+    // format matters more than stream idiom here.
     std::snprintf(tail, sizeof tail, "_n%d_%016llx.model", deploy_nodes,
                   static_cast<unsigned long long>(
                       config_hash(cfg_, opts_)));
@@ -120,7 +123,7 @@ ModelRegistry::model(const workload::AppSpec& app, int deploy_nodes)
     require(deploy_nodes >= 1 &&
                 deploy_nodes <= cfg_.cluster.num_nodes,
             "ModelRegistry: deployment size out of range");
-    obs::count("registry.requests");
+    IMC_OBS_COUNT("registry.requests");
     const auto key = std::make_pair(app.abbrev, deploy_nodes);
     std::shared_ptr<Slot> slot;
     {
@@ -186,11 +189,11 @@ ModelRegistry::build(const workload::AppSpec& app, int deploy_nodes)
         BuiltModel loaded{load_model_file(path), {}, 0.0, true};
         require(loaded.model.app() == app.abbrev,
                 "ModelRegistry: cached model app mismatch in " + path);
-        obs::count("registry.disk_cache_hits");
+        IMC_OBS_COUNT("registry.disk_cache_hits");
         return loaded;
     }
-    const obs::Span span("registry.build:" + app.abbrev);
-    obs::count("registry.builds");
+    IMC_OBS_SPAN(span, "registry.build:" + app.abbrev);
+    IMC_OBS_COUNT("registry.builds");
 
     std::vector<sim::NodeId> nodes(
         static_cast<std::size_t>(deploy_nodes));

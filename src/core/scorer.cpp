@@ -55,7 +55,7 @@ BubbleScorer::BubbleScorer(workload::RunConfig cfg,
                            workload::RunService* service)
     : cfg_(std::move(cfg)), service_(service)
 {
-    const obs::Span span("scorer.calibrate");
+    IMC_OBS_SPAN(span, "scorer.calibrate");
     const auto probe = reporter_spec();
     const std::vector<sim::NodeId> probe_node{0};
 
@@ -76,7 +76,7 @@ BubbleScorer::BubbleScorer(workload::RunConfig cfg,
         reqs.push_back(workload::app_time_request(probe, probe_node,
                                                   extra, run_cfg));
     }
-    obs::count("scorer.calibration_runs", reqs.size());
+    IMC_OBS_COUNT("scorer.calibration_runs", reqs.size());
     const auto times = run_batch(reqs);
 
     probe_solo_time_ = times[0];
@@ -121,13 +121,13 @@ BubbleScorer::score(const workload::AppSpec& app,
                     const std::vector<sim::NodeId>& nodes) const
 {
     require(!nodes.empty(), "BubbleScorer::score: empty deployment");
-    const obs::Span span("scorer.score:" + app.abbrev);
+    IMC_OBS_SPAN(span, "scorer.score:" + app.abbrev);
     // Probe every node of the deployment in one batch.
     std::vector<workload::RunRequest> reqs;
     reqs.reserve(nodes.size());
     for (sim::NodeId node : nodes)
         reqs.push_back(probe_request(app, nodes, node));
-    obs::count("scorer.probe_runs", reqs.size());
+    IMC_OBS_COUNT("scorer.probe_runs", reqs.size());
     const auto times = run_batch(reqs);
 
     const LinearInterpolator inverse(inverse_x_, inverse_y_);

@@ -147,9 +147,9 @@ load_model(std::istream& is)
     // A "row" line beyond the last expected one used to be silently
     // ignored — reject it (the matrix the writer meant is ambiguous).
     {
-        std::string line;
-        if (next_line(is, line)) {
-            std::istringstream ss(line);
+        std::string extra_line;
+        if (next_line(is, extra_line)) {
+            std::istringstream ss(extra_line);
             std::string head;
             ss >> head;
             require(head != "row",

@@ -70,7 +70,7 @@ anneal_chain(const Placement& initial, const Evaluator& evaluator,
              Goal goal, const std::optional<QosConstraint>& qos,
              const AnnealOptions& opts, Rng rng)
 {
-    const obs::Span chain_span("anneal.chain");
+    IMC_OBS_SPAN(chain_span, "anneal.chain");
     const double direction =
         goal == Goal::MinimizeTotalTime ? 1.0 : -1.0;
 
@@ -125,17 +125,17 @@ anneal_chain(const Placement& initial, const Evaluator& evaluator,
                 // Best-energy trajectory: one counter sample per
                 // improvement, viewable as a descending staircase in
                 // the trace timeline.
-                obs::trace_counter("anneal.best_total", cand.total);
+                IMC_OBS_TRACE_COUNTER("anneal.best_total", cand.total);
             }
         } else {
             scorer.undo();
         }
     }
 
-    if (obs::enabled()) {
-        obs::count("anneal.proposals",
+    if (IMC_OBS_ENABLED()) {
+        IMC_OBS_COUNT("anneal.proposals",
                    static_cast<std::uint64_t>(opts.iterations));
-        obs::count("anneal.accepted",
+        IMC_OBS_COUNT("anneal.accepted",
                    static_cast<std::uint64_t>(accepted));
     }
     return ChainResult{std::move(best), best_score, accepted};
@@ -165,7 +165,7 @@ anneal(Placement initial, const Evaluator& evaluator, Goal goal,
         if (chains < 1)
             chains = 1;
     }
-    obs::count("anneal.chains", static_cast<std::uint64_t>(chains));
+    IMC_OBS_COUNT("anneal.chains", static_cast<std::uint64_t>(chains));
 
     const double direction =
         goal == Goal::MinimizeTotalTime ? 1.0 : -1.0;

@@ -58,7 +58,12 @@ Placement::random(std::vector<Instance> instances,
             return p;
     }
     throw ConfigError(
-        "Placement::random: could not find a valid placement");
+        "Placement::random: no valid placement for " +
+        std::to_string(p.num_instances()) + " instances on " +
+        std::to_string(p.num_nodes_) + " nodes x " +
+        std::to_string(p.slots_per_node_) +
+        " slots after 10000 shuffles; the cluster is too small or "
+        "an instance spans more units than there are nodes");
 }
 
 sim::NodeId

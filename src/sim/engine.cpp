@@ -123,24 +123,25 @@ Simulation::run(std::uint64_t max_events)
 {
     const std::uint64_t start = queue_.executed();
     const SimStats stats_before = stats_;
+    (void)stats_before; // consumed only by the obs block below
     while (queue_.pop_and_run()) {
         invariant(queue_.executed() - start <= max_events,
                   "Simulation::run: event budget exceeded (runaway?)");
     }
     // Aggregate deltas once per run() — the per-event loop above stays
     // untouched so the hot path costs nothing when obs is off.
-    if (obs::enabled()) {
-        obs::count("sim.runs");
-        obs::count("sim.events", queue_.executed() - start);
-        obs::count("sim.contention_solves",
+    if (IMC_OBS_ENABLED()) {
+        IMC_OBS_COUNT("sim.runs");
+        IMC_OBS_COUNT("sim.events", queue_.executed() - start);
+        IMC_OBS_COUNT("sim.contention_solves",
                    static_cast<std::uint64_t>(
                        stats_.contention_solves -
                        stats_before.contention_solves));
-        obs::count("sim.proc_reschedules",
+        IMC_OBS_COUNT("sim.proc_reschedules",
                    static_cast<std::uint64_t>(
                        stats_.proc_reschedules -
                        stats_before.proc_reschedules));
-        obs::count("sim.computes",
+        IMC_OBS_COUNT("sim.computes",
                    static_cast<std::uint64_t>(stats_.computes -
                                               stats_before.computes));
     }

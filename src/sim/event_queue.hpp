@@ -74,6 +74,10 @@ class EventQueue {
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
         heap_;
+    // Determinism audit (imc-lint determinism-unordered-iter): this
+    // map is keyed-lookup only — firing order comes exclusively from
+    // heap_'s (time, seq) ordering, never from map iteration.
+    // tests/test_determinism.cpp locks that in across layouts.
     std::unordered_map<EventId, Callback> live_;
     double now_ = 0.0;
     std::uint64_t next_seq_ = 0;

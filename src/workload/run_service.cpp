@@ -281,7 +281,7 @@ RunService::worker_loop()
         double value = 0.0;
         std::exception_ptr error;
         try {
-            const obs::Span span("runservice.execute");
+            IMC_OBS_SPAN(span, "runservice.execute");
             value = execute_request(job.req);
         } catch (...) {
             error = std::current_exception();
@@ -297,6 +297,7 @@ RunService::submit(const RunRequest& req)
     std::shared_ptr<Handle::Entry> entry;
     bool fresh = false;
     std::size_t queue_depth = 0;
+    (void)queue_depth; // consumed only by the obs block below
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.submitted;
@@ -316,13 +317,13 @@ RunService::submit(const RunRequest& req)
     }
     // Mirror the accounting into the obs registry (outside the
     // service lock; obs does its own, never-nested synchronization).
-    if (obs::enabled()) {
-        obs::count("runservice.submitted");
+    if (IMC_OBS_ENABLED()) {
+        IMC_OBS_COUNT("runservice.submitted");
         if (fresh)
-            obs::count("runservice.executed");
+            IMC_OBS_COUNT("runservice.executed");
         else
-            obs::count("runservice.cache_hits");
-        obs::gauge_max("runservice.queue_depth.max",
+            IMC_OBS_COUNT("runservice.cache_hits");
+        IMC_OBS_GAUGE_MAX("runservice.queue_depth.max",
                        static_cast<double>(queue_depth));
     }
     if (fresh) {
@@ -333,7 +334,7 @@ RunService::submit(const RunRequest& req)
             double value = 0.0;
             std::exception_ptr error;
             try {
-                const obs::Span span("runservice.execute");
+                IMC_OBS_SPAN(span, "runservice.execute");
                 value = execute_request(req);
             } catch (...) {
                 error = std::current_exception();
@@ -347,9 +348,9 @@ RunService::submit(const RunRequest& req)
 std::vector<double>
 RunService::run_all(const std::vector<RunRequest>& reqs)
 {
-    if (obs::enabled()) {
-        obs::count("runservice.batches");
-        obs::observe("runservice.batch_size",
+    if (IMC_OBS_ENABLED()) {
+        IMC_OBS_COUNT("runservice.batches");
+        IMC_OBS_OBSERVE("runservice.batch_size",
                      static_cast<double>(reqs.size()));
     }
     std::vector<Handle> handles;

@@ -180,6 +180,12 @@ class RunService {
     int threads_ = 1;
     mutable std::mutex mutex_; // guards cache_, queue_, stats, stop_
     std::condition_variable work_cv_;
+    // Determinism audit (imc-lint determinism-unordered-iter): the
+    // content-addressed cache is find/emplace only; every result is
+    // a pure function of its canonical key, so cache layout and
+    // submission order cannot reach measured values
+    // (tests/test_determinism.cpp byte-compares a serialized model
+    // across cache histories).
     std::unordered_map<std::string, std::shared_ptr<Handle::Entry>>
         cache_;
     std::deque<Job> queue_;

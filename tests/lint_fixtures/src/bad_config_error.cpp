@@ -1,0 +1,13 @@
+// Fixture: config-error-context violation. Expected:
+//   line 8: ConfigError with no flag/value context
+// The throw on line 12 is fine: it splices the offending value in.
+#include <string>
+struct ConfigError {
+    explicit ConfigError(const std::string&) {}
+};
+void reject() { throw ConfigError("bad input"); }
+void
+reject_with_context(const std::string& v)
+{
+    throw ConfigError("unknown policy '" + v + "'");
+}

@@ -1,0 +1,14 @@
+// Fixture: determinism-rand violations. Expected diagnostics:
+//   line 9:  rand() call
+//   line 10: srand() call
+//   line 12: time() call
+//   line 14: std::random_device use
+#include <cstdlib>
+#include <ctime>
+#include <random>
+int noisy() { return rand(); }
+void seed_it() { srand(42); }
+long long
+stamp() { return time(nullptr); }
+unsigned
+hw_seed() { std::random_device rd; return rd(); }

@@ -1,0 +1,6 @@
+#ifndef WRONG_GUARD_NAME_HPP
+#define WRONG_GUARD_NAME_HPP
+// Fixture: header-guard violation. Expected:
+//   line 1: guard must be IMC_BAD_GUARD_HPP (path-derived)
+int fixture_value();
+#endif // WRONG_GUARD_NAME_HPP

@@ -1,0 +1,7 @@
+// Fixture: include-order violation. Expected:
+//   line 6: <system> include after the "project" group
+#include "bad_guard.hpp"
+#include <string>
+#include "another_project_header.hpp"
+#include <vector>
+int fixture_value_2();

@@ -1,0 +1,10 @@
+// Fixture: banned-new-delete violations. Expected:
+//   line 5: naked new
+//   line 6: naked delete
+// The deleted copy constructor on line 9 is NOT a violation.
+int* make() { return new int(7); }
+void unmake(int* p) { delete p; }
+struct NoCopy {
+    NoCopy() = default;
+    NoCopy(const NoCopy&) = delete;
+};

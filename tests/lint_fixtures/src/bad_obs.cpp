@@ -1,0 +1,12 @@
+// Fixture: obs-gate violations. Expected:
+//   line 9:  direct obs::count call
+//   line 10: direct obs::Span construction
+// The obs::enabled() gate on line 8 is fine (control, not recording).
+namespace obs { void count(const char*); struct Span { explicit Span(const char*); }; bool enabled(); }
+void hot_path()
+{
+    if (obs::enabled()) {
+        obs::count("fixture.calls");
+        const obs::Span span("fixture.span");
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: banned-number-parse violations. Expected:
+//   line 6: atoi call
+//   line 8: strtod call (unchecked)
+#include <cstdlib>
+int
+flag_to_int(const char* s) { return atoi(s); }
+double
+flag_to_double(const char* s) { return std::strtod(s, nullptr); }

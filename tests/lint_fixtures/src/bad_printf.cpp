@@ -1,0 +1,5 @@
+// Fixture: banned-printf violation in library code. Expected:
+//   line 5: printf call
+#include <cstdio>
+void
+report(double v) { std::printf("v=%f\n", v); }

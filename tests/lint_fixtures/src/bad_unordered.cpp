@@ -1,0 +1,17 @@
+// Fixture: determinism-unordered-iter violations. Expected:
+//   line 10: range-for over the unordered_map
+//   line 16: explicit .begin() walk
+#include <string>
+#include <unordered_map>
+double
+total(const std::unordered_map<std::string, double>& weights)
+{
+    double sum = 0.0;
+    for (const auto& [k, v] : weights)
+        sum += v;
+    return sum;
+}
+bool has_any(const std::unordered_map<std::string, double>& weights)
+{
+    return weights.begin() != weights.end();
+}

@@ -1,0 +1,47 @@
+#ifndef IMC_CLEAN_HPP
+#define IMC_CLEAN_HPP
+
+// Fixture: a fully conforming header. Zero diagnostics expected.
+// It deliberately brushes against every rule's lookalikes: a member
+// named `time`, a method named `random`, keyed unordered lookups
+// (no iteration), a deleted copy constructor, and ConfigError with
+// context.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "another_project_header.hpp"
+
+struct ConfigError {
+    explicit ConfigError(const std::string&) {}
+};
+
+class CleanTimer {
+  public:
+    CleanTimer() = default;
+    CleanTimer(const CleanTimer&) = delete;
+
+    double time = 0.0; ///< member named like the banned call
+    double random(int seed) const { return time + seed; }
+
+    /** Keyed lookup only — never iterated. */
+    double lookup(const std::string& key) const
+    {
+        const auto it = cache_.find(key);
+        if (it == cache_.end())
+            throw ConfigError("lookup: unknown key '" + key + "'");
+        return it->second;
+    }
+
+  private:
+    std::unordered_map<std::string, double> cache_;
+};
+
+inline std::unique_ptr<CleanTimer>
+make_clean()
+{
+    return std::make_unique<CleanTimer>();
+}
+
+#endif // IMC_CLEAN_HPP

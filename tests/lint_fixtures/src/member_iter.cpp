@@ -1,0 +1,13 @@
+// Fixture (cross-file): iterates an unordered member declared in
+// member_iter.hpp. Expected:
+//   line 10: determinism-unordered-iter on entries_
+#include "member_iter.hpp"
+
+double
+Ledger::sum() const
+{
+    double total = 0.0;
+    for (const auto& [name, value] : entries_)
+        total += value;
+    return total;
+}

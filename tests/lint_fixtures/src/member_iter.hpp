@@ -1,0 +1,18 @@
+#ifndef IMC_MEMBER_ITER_HPP
+#define IMC_MEMBER_ITER_HPP
+
+// Fixture (cross-file): declares the unordered member the sibling
+// .cpp iterates. This header itself is clean.
+
+#include <string>
+#include <unordered_map>
+
+class Ledger {
+  public:
+    double sum() const;
+
+  private:
+    std::unordered_map<std::string, double> entries_;
+};
+
+#endif // IMC_MEMBER_ITER_HPP

@@ -1,0 +1,16 @@
+// Fixture: suppression behaviour. Expected diagnostics:
+//   line 14: banned-printf survives its unjustified suppression
+//   line 14: lint-suppression (missing justification)
+//   line 16: lint-suppression (unknown rule name)
+// The justified suppression on line 10 silences line 12 entirely.
+#include <cstdio>
+void
+ok_site(double v)
+{
+    // imc-lint: allow(banned-printf): fixture of a justified
+    // suppression; the violation below must NOT be reported.
+    std::printf("a=%f\n", v);
+}
+void bad_site() { std::printf("x\n"); } // imc-lint: allow(banned-printf)
+void
+also_bad() {} // imc-lint: allow(not-a-rule): misspelled rule id

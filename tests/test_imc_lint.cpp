@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests of the imc-lint static-analysis pass: every rule fires on
+ * its fixture at the exact line, the clean fixtures stay silent,
+ * category scoping works (printf allowed in bench, obs-gate only in
+ * src), suppressions silence only when justified, and cross-file
+ * unordered-member detection sees the sibling header.
+ *
+ * Fixtures live in tests/lint_fixtures/ (excluded from the
+ * tree-wide ImcLint.Tree run precisely because they violate on
+ * purpose) and are read from IMC_LINT_FIXTURE_DIR.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using imc::lint::Diagnostic;
+using imc::lint::lint_content;
+using imc::lint::Options;
+
+std::string
+fixture(const std::string& name)
+{
+    const std::string path =
+        std::string(IMC_LINT_FIXTURE_DIR) + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** (rule, line) pairs, in report order. */
+std::vector<std::pair<std::string, int>>
+findings(const std::vector<Diagnostic>& diags)
+{
+    std::vector<std::pair<std::string, int>> out;
+    out.reserve(diags.size());
+    for (const Diagnostic& d : diags)
+        out.emplace_back(d.rule, d.line);
+    return out;
+}
+
+using Want = std::vector<std::pair<std::string, int>>;
+
+TEST(ImcLintRules, DeterminismRandFiresPerSite)
+{
+    const auto diags = lint_content("src/bad_determinism.cpp",
+                                    fixture("src/bad_determinism.cpp"));
+    EXPECT_EQ(findings(diags), (Want{{"determinism-rand", 9},
+                                     {"determinism-rand", 10},
+                                     {"determinism-rand", 12},
+                                     {"determinism-rand", 14}}));
+}
+
+TEST(ImcLintRules, UnorderedIterationFlagsRangeForAndBegin)
+{
+    const auto diags = lint_content("src/bad_unordered.cpp",
+                                    fixture("src/bad_unordered.cpp"));
+    EXPECT_EQ(findings(diags),
+              (Want{{"determinism-unordered-iter", 10},
+                    {"determinism-unordered-iter", 16}}));
+}
+
+TEST(ImcLintRules, NumberParseFlagsAtoiAndRawStrtod)
+{
+    const auto diags = lint_content("src/bad_parse.cpp",
+                                    fixture("src/bad_parse.cpp"));
+    EXPECT_EQ(findings(diags), (Want{{"banned-number-parse", 6},
+                                     {"banned-number-parse", 8}}));
+}
+
+TEST(ImcLintRules, PrintfBannedInLibraryOnly)
+{
+    const std::string content = fixture("src/bad_printf.cpp");
+    const auto in_src = lint_content("src/bad_printf.cpp", content);
+    EXPECT_EQ(findings(in_src), (Want{{"banned-printf", 5}}));
+    // The same code in a bench harness is allowed to print.
+    const auto in_bench =
+        lint_content("bench/bad_printf.cpp", content);
+    EXPECT_TRUE(in_bench.empty());
+}
+
+TEST(ImcLintRules, NewDeleteFlagsNakedButNotDeletedFunctions)
+{
+    const auto diags = lint_content("src/bad_new_delete.cpp",
+                                    fixture("src/bad_new_delete.cpp"));
+    EXPECT_EQ(findings(diags), (Want{{"banned-new-delete", 5},
+                                     {"banned-new-delete", 6}}));
+}
+
+TEST(ImcLintRules, ConfigErrorNeedsContext)
+{
+    const auto diags =
+        lint_content("src/bad_config_error.cpp",
+                     fixture("src/bad_config_error.cpp"));
+    EXPECT_EQ(findings(diags), (Want{{"config-error-context", 8}}));
+}
+
+TEST(ImcLintRules, HeaderGuardMustMatchPath)
+{
+    const auto diags = lint_content("src/bad_guard.hpp",
+                                    fixture("src/bad_guard.hpp"));
+    ASSERT_EQ(findings(diags), (Want{{"header-guard", 1}}));
+    EXPECT_NE(diags[0].message.find("IMC_BAD_GUARD_HPP"),
+              std::string::npos);
+}
+
+TEST(ImcLintRules, IncludeOrderRejectsInterleavedGroups)
+{
+    const auto diags =
+        lint_content("src/bad_include_order.cpp",
+                     fixture("src/bad_include_order.cpp"));
+    EXPECT_EQ(findings(diags), (Want{{"include-order", 6}}));
+}
+
+TEST(ImcLintRules, ObsGateOnlyInLibraryCode)
+{
+    const std::string content = fixture("src/bad_obs.cpp");
+    const auto in_src = lint_content("src/bad_obs.cpp", content);
+    EXPECT_EQ(findings(in_src),
+              (Want{{"obs-gate", 9}, {"obs-gate", 10}}));
+    // Tests may exercise the obs API directly.
+    const auto in_tests = lint_content("tests/bad_obs.cpp", content);
+    EXPECT_TRUE(in_tests.empty());
+}
+
+TEST(ImcLintSuppression, JustifiedSilencesUnjustifiedDoesNot)
+{
+    const auto diags = lint_content("src/suppressed.cpp",
+                                    fixture("src/suppressed.cpp"));
+    EXPECT_EQ(findings(diags), (Want{{"banned-printf", 14},
+                                     {"lint-suppression", 14},
+                                     {"lint-suppression", 16}}));
+}
+
+TEST(ImcLintClean, ConformingHeaderIsSilent)
+{
+    const auto diags =
+        lint_content("src/clean.hpp", fixture("src/clean.hpp"));
+    EXPECT_TRUE(diags.empty()) << diags.size() << " diagnostics, "
+                               << "first: "
+                               << (diags.empty() ? ""
+                                                 : diags[0].message);
+}
+
+TEST(ImcLintCrossFile, SiblingHeaderMembersAreTracked)
+{
+    const std::string cpp = fixture("src/member_iter.cpp");
+    const std::string hpp = fixture("src/member_iter.hpp");
+    // Without the header the member's type is unknown — silent.
+    EXPECT_TRUE(lint_content("src/member_iter.cpp", cpp).empty());
+    const auto diags =
+        lint_content("src/member_iter.cpp", cpp, hpp, Options{});
+    EXPECT_EQ(findings(diags),
+              (Want{{"determinism-unordered-iter", 10}}));
+}
+
+TEST(ImcLintOptions, DisabledRulesAreFiltered)
+{
+    Options opts;
+    opts.disabled_rules.insert("banned-printf");
+    const auto diags = lint_content(
+        "src/bad_printf.cpp", fixture("src/bad_printf.cpp"), opts);
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(ImcLintMeta, EveryEmittedRuleIsDocumented)
+{
+    const auto& desc = imc::lint::rule_descriptions();
+    for (const char* f :
+         {"src/bad_determinism.cpp", "src/bad_unordered.cpp",
+          "src/bad_parse.cpp", "src/bad_printf.cpp",
+          "src/bad_new_delete.cpp", "src/bad_config_error.cpp",
+          "src/bad_guard.hpp", "src/bad_include_order.cpp",
+          "src/bad_obs.cpp", "src/suppressed.cpp"}) {
+        for (const Diagnostic& d : lint_content(f, fixture(f)))
+            EXPECT_EQ(desc.count(d.rule), 1u)
+                << "undocumented rule " << d.rule;
+    }
+}
+
+} // namespace

@@ -237,6 +237,6 @@ INSTANTIATE_TEST_SUITE_P(
                         return 1.0 + depth * (1.0 + 0.05 * j);
                     },
                     4.0}),
-    [](const ::testing::TestParamInfo<SurfaceCase>& info) {
-        return info.param.name;
+    [](const ::testing::TestParamInfo<SurfaceCase>& param_info) {
+        return param_info.param.name;
     });

@@ -1,0 +1,188 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace imc::lint {
+
+namespace {
+
+bool
+ident_start(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+ident_char(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-char operators we care to keep whole. "::" matters for
+// qualifier analysis; "->" matters for member-access detection. The
+// rest are folded greedily so they never split into misleading pairs.
+const char* kTwoCharOps[] = {"::", "->", "<<", ">>", "<=", ">=", "==",
+                             "!=", "&&", "||", "++", "--", "+=", "-=",
+                             "*=", "/=", "|=", "&=", "^=", "%="};
+
+} // namespace
+
+LexResult
+lex(const std::string& content)
+{
+    LexResult out;
+    const std::size_t n = content.size();
+    std::size_t i = 0;
+    int line = 1;
+    // Line of the most recent code token, to classify own-line
+    // comments (nothing but whitespace before them on their line).
+    int last_code_line = 0;
+
+    auto advance = [&](std::size_t count) {
+        for (std::size_t k = 0; k < count && i < n; ++k, ++i)
+            if (content[i] == '\n')
+                ++line;
+    };
+
+    while (i < n) {
+        const char c = content[i];
+        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+            advance(1);
+            continue;
+        }
+        if (c == '\\' && i + 1 < n && content[i + 1] == '\n') {
+            advance(2); // line continuation
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+            const int start_line = line;
+            std::size_t j = i + 2;
+            while (j < n && content[j] != '\n')
+                ++j;
+            out.comments.push_back({content.substr(i + 2, j - i - 2),
+                                    start_line,
+                                    last_code_line != start_line});
+            advance(j - i);
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+            const int start_line = line;
+            std::size_t j = i + 2;
+            while (j + 1 < n &&
+                   !(content[j] == '*' && content[j + 1] == '/'))
+                ++j;
+            const std::size_t end = (j + 1 < n) ? j + 2 : n;
+            out.comments.push_back({content.substr(i + 2, j - i - 2),
+                                    start_line,
+                                    last_code_line != start_line});
+            advance(end - i);
+            continue;
+        }
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+            std::size_t j = i + 2;
+            while (j < n && content[j] != '(')
+                ++j;
+            const std::string delim =
+                ")" + content.substr(i + 2, j - i - 2) + "\"";
+            const std::size_t body = (j < n) ? j + 1 : n;
+            const std::size_t close = content.find(delim, body);
+            const std::size_t end =
+                (close == std::string::npos) ? n : close + delim.size();
+            out.tokens.push_back(
+                {TokKind::String,
+                 content.substr(body, (close == std::string::npos
+                                           ? n
+                                           : close) -
+                                          body),
+                 line});
+            last_code_line = line;
+            advance(end - i);
+            continue;
+        }
+        // String literal.
+        if (c == '"') {
+            const int start_line = line;
+            std::size_t j = i + 1;
+            std::string text;
+            while (j < n && content[j] != '"') {
+                if (content[j] == '\\' && j + 1 < n) {
+                    text += content[j];
+                    text += content[j + 1];
+                    j += 2;
+                } else {
+                    text += content[j];
+                    ++j;
+                }
+            }
+            out.tokens.push_back({TokKind::String, text, start_line});
+            last_code_line = start_line;
+            advance((j < n ? j + 1 : n) - i);
+            continue;
+        }
+        // Character literal. Heuristic: only after non-identifier
+        // context, so digit separators (1'000) never match; we keep
+        // it simple because numbers consume their own separators.
+        if (c == '\'') {
+            const int start_line = line;
+            std::size_t j = i + 1;
+            while (j < n && content[j] != '\'') {
+                if (content[j] == '\\' && j + 1 < n)
+                    j += 2;
+                else
+                    ++j;
+            }
+            out.tokens.push_back(
+                {TokKind::CharLit, content.substr(i + 1, j - i - 1),
+                 start_line});
+            last_code_line = start_line;
+            advance((j < n ? j + 1 : n) - i);
+            continue;
+        }
+        if (ident_start(c)) {
+            std::size_t j = i + 1;
+            while (j < n && ident_char(content[j]))
+                ++j;
+            out.tokens.push_back(
+                {TokKind::Ident, content.substr(i, j - i), line});
+            last_code_line = line;
+            advance(j - i);
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i + 1;
+            while (j < n && (ident_char(content[j]) ||
+                             content[j] == '\'' || content[j] == '.' ||
+                             ((content[j] == '+' || content[j] == '-') &&
+                              (content[j - 1] == 'e' ||
+                               content[j - 1] == 'E' ||
+                               content[j - 1] == 'p' ||
+                               content[j - 1] == 'P'))))
+                ++j;
+            out.tokens.push_back(
+                {TokKind::Number, content.substr(i, j - i), line});
+            last_code_line = line;
+            advance(j - i);
+            continue;
+        }
+        // Punctuation: longest match among the known two-char ops.
+        std::string text(1, c);
+        if (i + 1 < n) {
+            for (const char* op : kTwoCharOps) {
+                if (content[i] == op[0] && content[i + 1] == op[1]) {
+                    text = op;
+                    break;
+                }
+            }
+        }
+        out.tokens.push_back({TokKind::Punct, text, line});
+        last_code_line = line;
+        advance(text.size());
+    }
+    return out;
+}
+
+} // namespace imc::lint

@@ -1,0 +1,57 @@
+#ifndef IMC_TOOLS_IMC_LINT_LEXER_HPP
+#define IMC_TOOLS_IMC_LINT_LEXER_HPP
+
+/**
+ * @file
+ * A minimal C++ tokenizer for imc-lint.
+ *
+ * This is deliberately NOT a compiler front end: it produces a flat
+ * token stream good enough to find banned calls, throw sites, and
+ * container iteration, while stripping the two things that make
+ * regex-grep lints lie — comments and string literals. Comments are
+ * kept on the side (with their line numbers) because suppression
+ * directives live in them.
+ */
+
+#include <string>
+#include <vector>
+
+namespace imc::lint {
+
+enum class TokKind {
+    Ident,   ///< identifier or keyword
+    Number,  ///< numeric literal
+    String,  ///< string literal (text WITHOUT quotes)
+    CharLit, ///< character literal
+    Punct,   ///< operator / punctuation, longest-match (e.g. "::")
+};
+
+struct Token {
+    TokKind kind;
+    std::string text;
+    int line; ///< 1-based
+};
+
+/** One comment, attached to the line it starts on. */
+struct Comment {
+    std::string text; ///< body without the // or markers
+    int line;         ///< 1-based line the comment starts on
+    bool own_line;    ///< no code precedes it on its line
+};
+
+/** Lex result: code tokens plus side-channel comments. */
+struct LexResult {
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+};
+
+/**
+ * Tokenize @p content. Never fails: unterminated literals are closed
+ * at end of file, unknown bytes become single-char Punct tokens.
+ * Handles //, block comments, raw strings, and line continuations.
+ */
+LexResult lex(const std::string& content);
+
+} // namespace imc::lint
+
+#endif // IMC_TOOLS_IMC_LINT_LEXER_HPP

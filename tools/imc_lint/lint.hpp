@@ -1,0 +1,131 @@
+#ifndef IMC_TOOLS_IMC_LINT_LINT_HPP
+#define IMC_TOOLS_IMC_LINT_LINT_HPP
+
+/**
+ * @file
+ * imc-lint — the project-invariant static-analysis pass.
+ *
+ * The compiler checks types; this tool checks the *project's*
+ * contracts, the ones PR review used to check by convention:
+ *
+ *  - determinism-rand        no wall-clock / libc randomness in code
+ *                            that can feed recorded figures
+ *  - determinism-unordered-iter  no iteration over unordered
+ *                            containers (order leaks into output)
+ *  - banned-number-parse     no atoi/atof/strtol-family parsing
+ *                            (use the strict Cli / serialize paths)
+ *  - banned-printf           no printf-family output in library code
+ *  - banned-new-delete       no naked new/delete
+ *  - config-error-context    throw ConfigError must embed the
+ *                            offending flag or value
+ *  - header-guard            guards named IMC_<PATH>_HPP, closing
+ *                            #endif annotated
+ *  - include-order           own header, then <system>, then
+ *                            "project" — no interleaving
+ *  - obs-gate                obs recording only via IMC_OBS_* macros
+ *                            (keeps IMC_OBS_DISABLED zero-cost)
+ *  - lint-suppression        suppressions must parse, name a known
+ *                            rule, and carry a justification
+ *
+ * A violation is silenced with a suppression comment on the same
+ * line or on a comment-only line directly above, and MUST carry a
+ * justification after the closing parenthesis:
+ *
+ *     // imc-lint: allow(banned-printf): snprintf is the checked
+ *     // float formatter; output goes to a sized local buffer.
+ *
+ * Unjustified or unknown-rule suppressions are themselves
+ * diagnostics, so the suppression surface stays auditable.
+ */
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace imc::lint {
+
+/** Where a file sits in the tree; decides which rules apply. */
+enum class Category {
+    Library, ///< src/ — strictest: all rules
+    Bench,   ///< bench/ — figure harnesses (may print)
+    Example, ///< examples/ — user-facing mains (may print)
+    Test,    ///< tests/ — may exercise banned APIs deliberately
+    Tool,    ///< tools/ — the lint tool itself (dogfooded)
+};
+
+/** One finding. */
+struct Diagnostic {
+    std::string rule;
+    std::string path; ///< root-relative, '/' separators
+    int line = 0;
+    std::string message;
+};
+
+/** Everything a rule sees about one translation unit. */
+struct FileContext {
+    std::string path; ///< root-relative, '/' separators
+    Category category = Category::Library;
+    std::vector<std::string> lines; ///< raw lines, 0-based storage
+    LexResult lex;
+    /**
+     * Names of unordered_map/unordered_set variables declared in the
+     * sibling header (same stem), so a .cpp iterating a member the
+     * .hpp declares is still caught.
+     */
+    std::set<std::string> extra_unordered_names;
+};
+
+struct Options {
+    /** Rules disabled wholesale (e.g. from --allow on the CLI). */
+    std::set<std::string> disabled_rules;
+};
+
+/** Rule id -> one-line description, for --list-rules and tests. */
+const std::map<std::string, std::string>& rule_descriptions();
+
+/**
+ * Lint one file's content. @p path must be root-relative with '/'
+ * separators; it decides the category and the header-guard name.
+ * Suppressions have already been applied to the result.
+ */
+std::vector<Diagnostic> lint_content(const std::string& path,
+                                     const std::string& content,
+                                     const Options& opts = {});
+
+/** lint_content plus sibling-header unordered-name seeding. */
+std::vector<Diagnostic>
+lint_content(const std::string& path, const std::string& content,
+             const std::string& sibling_header_content,
+             const Options& opts);
+
+/**
+ * Walk @p roots (files or directories) under @p root_dir, lint every
+ * .hpp/.cpp/.h/.cc file, and return all diagnostics sorted by path
+ * then line. Directories named build, .git, or lint_fixtures are
+ * skipped (fixtures contain violations on purpose); explicitly
+ * listed files are always linted.
+ */
+std::vector<Diagnostic>
+lint_tree(const std::string& root_dir,
+          const std::vector<std::string>& roots,
+          const Options& opts = {});
+
+// Internal entry point shared by lint_content and the tests: run the
+// rules without applying suppressions.
+std::vector<Diagnostic> run_rules(const FileContext& ctx,
+                                  const Options& opts);
+
+/**
+ * Names of variables declared with an unordered_map/unordered_set
+ * type in @p content — used to seed a .cpp's context from its
+ * sibling header so member iteration is caught across the pair.
+ */
+std::set<std::string>
+unordered_decl_names_in(const std::string& content);
+
+} // namespace imc::lint
+
+#endif // IMC_TOOLS_IMC_LINT_LINT_HPP

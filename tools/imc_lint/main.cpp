@@ -1,0 +1,85 @@
+/**
+ * @file
+ * imc_lint CLI.
+ *
+ *   imc_lint [--root DIR] [--allow RULE]... [PATH]...
+ *
+ * PATHs (files or directories, relative to --root) default to the
+ * four linted trees: src examples bench tests tools. Exit status is
+ * 0 when clean, 1 when diagnostics were emitted, 2 on usage errors —
+ * so the ctest / CI wiring is a bare invocation.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int
+usage(std::ostream& os, int code)
+{
+    os << "usage: imc_lint [--root DIR] [--allow RULE]... "
+          "[--list-rules] [PATH]...\n"
+          "  --root DIR    resolve PATHs and report paths relative "
+          "to DIR (default .)\n"
+          "  --allow RULE  disable RULE everywhere (prefer inline "
+          "justified suppressions)\n"
+          "  --list-rules  print rule ids and one-line "
+          "descriptions\n";
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string root = ".";
+    imc::lint::Options opts;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            return usage(std::cout, 0);
+        if (arg == "--list-rules") {
+            for (const auto& [rule, desc] :
+                 imc::lint::rule_descriptions())
+                std::cout << rule << ": " << desc << "\n";
+            return 0;
+        }
+        if (arg == "--root") {
+            if (++i >= argc)
+                return usage(std::cerr, 2);
+            root = argv[i];
+        } else if (arg == "--allow") {
+            if (++i >= argc)
+                return usage(std::cerr, 2);
+            if (imc::lint::rule_descriptions().count(argv[i]) == 0) {
+                std::cerr << "imc_lint: unknown rule '" << argv[i]
+                          << "' (try --list-rules)\n";
+                return 2;
+            }
+            opts.disabled_rules.insert(argv[i]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "imc_lint: unknown option '" << arg
+                      << "'\n";
+            return usage(std::cerr, 2);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        paths = {"src", "examples", "bench", "tests", "tools"};
+
+    const std::vector<imc::lint::Diagnostic> diags =
+        imc::lint::lint_tree(root, paths, opts);
+    for (const auto& d : diags)
+        std::cout << d.path << ":" << d.line << ": [" << d.rule
+                  << "] " << d.message << "\n";
+    std::cerr << "imc_lint: " << diags.size() << " diagnostic"
+              << (diags.size() == 1 ? "" : "s") << "\n";
+    return diags.empty() ? 0 : 1;
+}

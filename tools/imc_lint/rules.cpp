@@ -1,0 +1,508 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+/**
+ * @file
+ * The rule implementations. Each rule is a free function over a
+ * FileContext appending Diagnostics; run_rules() dispatches by file
+ * category. Everything works on the token stream from lexer.cpp, so
+ * comments and string literals can never fake a violation — with the
+ * exception of header-guard and include-order, which are line-based
+ * because preprocessor structure is.
+ */
+
+namespace imc::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool
+is_ident(const Token& t, const char* text)
+{
+    return t.kind == TokKind::Ident && t.text == text;
+}
+
+/**
+ * True when tokens[i] is used as a function call: followed by '(',
+ * not a member access (x.time(...)), not a declaration (the previous
+ * token is a type name), and qualified — if at all — by std or the
+ * global namespace. C++ keywords that legally precede a call keep
+ * counting as calls (return rand();).
+ */
+bool
+is_call(const Tokens& toks, std::size_t i)
+{
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(")
+        return false;
+    if (i == 0)
+        return true;
+    const Token& prev = toks[i - 1];
+    if (prev.text == "." || prev.text == "->")
+        return false;
+    if (prev.text == "::") {
+        if (i < 2)
+            return true; // ::rand() — global qualifier
+        const Token& qual = toks[i - 2];
+        return is_ident(qual, "std");
+    }
+    if (prev.kind == TokKind::Ident) {
+        // "double time(" is a declaration; "return time(" a call.
+        static const std::set<std::string> kCallPrefixKeywords = {
+            "return", "co_return", "co_yield", "throw", "case",
+            "else",   "do",        "and",      "or",    "not"};
+        return kCallPrefixKeywords.count(prev.text) > 0;
+    }
+    // '>' closes a template type: "std::vector<int> f(" declares.
+    return prev.text != ">";
+}
+
+void
+rule_determinism_rand(const FileContext& ctx,
+                      std::vector<Diagnostic>& out)
+{
+    static const std::set<std::string> kBannedCalls = {
+        "rand",     "srand",        "rand_r",    "drand48",
+        "lrand48",  "mrand48",      "time",      "clock",
+        "gettimeofday", "localtime", "gmtime"};
+    // Banned in any position (types / static members).
+    static const std::set<std::string> kBannedNames = {
+        "random_device", "system_clock"};
+    const Tokens& toks = ctx.lex.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind != TokKind::Ident)
+            continue;
+        if (kBannedNames.count(t.text) > 0 &&
+            !(i > 0 && (toks[i - 1].text == "." ||
+                        toks[i - 1].text == "->"))) {
+            out.push_back({"determinism-rand", ctx.path, t.line,
+                           "'" + t.text +
+                               "' is nondeterministic across runs; "
+                               "derive randomness from imc::Rng "
+                               "seeds so figures stay reproducible"});
+            continue;
+        }
+        if (kBannedCalls.count(t.text) > 0 && is_call(toks, i)) {
+            out.push_back({"determinism-rand", ctx.path, t.line,
+                           "call to '" + t.text +
+                               "' injects wall-clock/libc state; "
+                               "recorded figures must depend only on "
+                               "seeds"});
+        }
+        // "random" only when explicitly ::random or std::random.
+        if (t.text == "random" && i >= 1 && toks[i - 1].text == "::" &&
+            is_call(toks, i)) {
+            out.push_back({"determinism-rand", ctx.path, t.line,
+                           "call to 'random' injects libc RNG state; "
+                           "use imc::Rng"});
+        }
+    }
+}
+
+/**
+ * Collect names declared with an unordered_map/unordered_set type in
+ * @p toks: after the template argument list closes, the next
+ * identifier is the variable. Misses aliases on purpose — the rule
+ * is a tripwire for the common direct case, not alias chasing.
+ */
+std::set<std::string>
+unordered_decl_names(const Tokens& toks)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!is_ident(toks[i], "unordered_map") &&
+            !is_ident(toks[i], "unordered_set"))
+            continue;
+        std::size_t j = i + 1;
+        if (j >= toks.size() || toks[j].text != "<")
+            continue;
+        int depth = 0;
+        for (; j < toks.size(); ++j) {
+            if (toks[j].text == "<")
+                ++depth;
+            else if (toks[j].text == ">") {
+                if (--depth == 0) {
+                    ++j;
+                    break;
+                }
+            } else if (toks[j].text == ">>") {
+                depth -= 2;
+                if (depth <= 0) {
+                    ++j;
+                    break;
+                }
+            }
+        }
+        // Skip reference/pointer/cv tokens between the type and the
+        // declared name: "const unordered_map<...>& weights".
+        while (j < toks.size() &&
+               (toks[j].text == "&" || toks[j].text == "&&" ||
+                toks[j].text == "*" || is_ident(toks[j], "const")))
+            ++j;
+        if (j < toks.size() && toks[j].kind == TokKind::Ident)
+            names.insert(toks[j].text);
+    }
+    return names;
+}
+
+void
+rule_determinism_unordered_iter(const FileContext& ctx,
+                                std::vector<Diagnostic>& out)
+{
+    const Tokens& toks = ctx.lex.tokens;
+    std::set<std::string> names = unordered_decl_names(toks);
+    names.insert(ctx.extra_unordered_names.begin(),
+                 ctx.extra_unordered_names.end());
+    if (names.empty())
+        return;
+    auto flag = [&](const std::string& name, int line) {
+        out.push_back(
+            {"determinism-unordered-iter", ctx.path, line,
+             "iteration over unordered container '" + name +
+                 "' has unspecified order; sort keys first or use an "
+                 "ordered container where order can reach output"});
+    };
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        // Range-for: for ( ... : NAME ) at paren depth 1.
+        if (is_ident(toks[i], "for") && i + 1 < toks.size() &&
+            toks[i + 1].text == "(") {
+            int depth = 0;
+            for (std::size_t j = i + 1; j < toks.size(); ++j) {
+                if (toks[j].text == "(")
+                    ++depth;
+                else if (toks[j].text == ")") {
+                    if (--depth == 0)
+                        break;
+                } else if (toks[j].text == ":" && depth == 1) {
+                    for (std::size_t k = j + 1;
+                         k < toks.size() && toks[k].text != ")"; ++k) {
+                        if (toks[k].kind == TokKind::Ident &&
+                            names.count(toks[k].text) > 0)
+                            flag(toks[k].text, toks[k].line);
+                    }
+                    break;
+                }
+            }
+        }
+        // Explicit iterator walk: NAME.begin() / NAME.cbegin().
+        if (toks[i].kind == TokKind::Ident &&
+            names.count(toks[i].text) > 0 && i + 2 < toks.size() &&
+            (toks[i + 1].text == "." || toks[i + 1].text == "->") &&
+            (is_ident(toks[i + 2], "begin") ||
+             is_ident(toks[i + 2], "cbegin"))) {
+            flag(toks[i].text, toks[i].line);
+        }
+    }
+}
+
+void
+rule_banned_number_parse(const FileContext& ctx,
+                         std::vector<Diagnostic>& out)
+{
+    static const std::set<std::string> kBanned = {
+        "atoi",    "atof",    "atol",    "atoll",  "strtol",
+        "strtoul", "strtoll", "strtoull", "strtod", "strtof",
+        "sscanf"};
+    const Tokens& toks = ctx.lex.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind == TokKind::Ident &&
+            kBanned.count(toks[i].text) > 0 && is_call(toks, i)) {
+            out.push_back(
+                {"banned-number-parse", ctx.path, toks[i].line,
+                 "'" + toks[i].text +
+                     "' accepts garbage silently; parse through the "
+                     "strict Cli/serialize helpers that reject "
+                     "malformed input by flag name"});
+        }
+    }
+}
+
+void
+rule_banned_printf(const FileContext& ctx,
+                   std::vector<Diagnostic>& out)
+{
+    static const std::set<std::string> kBanned = {
+        "printf",  "fprintf",  "sprintf",  "snprintf", "vprintf",
+        "vfprintf", "vsnprintf", "puts",    "fputs",    "putchar",
+        "fputc"};
+    const Tokens& toks = ctx.lex.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind == TokKind::Ident &&
+            kBanned.count(toks[i].text) > 0 && is_call(toks, i)) {
+            out.push_back({"banned-printf", ctx.path, toks[i].line,
+                           "'" + toks[i].text +
+                               "' in library code bypasses the "
+                               "stream-based output layer; return "
+                               "strings or take a std::ostream&"});
+        }
+    }
+}
+
+void
+rule_banned_new_delete(const FileContext& ctx,
+                       std::vector<Diagnostic>& out)
+{
+    const Tokens& toks = ctx.lex.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (is_ident(toks[i], "new")) {
+            out.push_back({"banned-new-delete", ctx.path,
+                           toks[i].line,
+                           "naked 'new'; use std::make_unique / "
+                           "std::make_shared or a container"});
+        } else if (is_ident(toks[i], "delete")) {
+            // "= delete" declares a deleted function; that is the
+            // one legitimate spelling.
+            if (i > 0 && toks[i - 1].text == "=")
+                continue;
+            out.push_back({"banned-new-delete", ctx.path,
+                           toks[i].line,
+                           "naked 'delete'; ownership belongs to "
+                           "RAII types, not call sites"});
+        }
+    }
+}
+
+void
+rule_config_error_context(const FileContext& ctx,
+                          std::vector<Diagnostic>& out)
+{
+    const Tokens& toks = ctx.lex.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!is_ident(toks[i], "throw") ||
+            !is_ident(toks[i + 1], "ConfigError") ||
+            toks[i + 2].text != "(")
+            continue;
+        bool has_context = false;
+        int depth = 0;
+        for (std::size_t j = i + 2; j < toks.size(); ++j) {
+            if (toks[j].text == "(") {
+                ++depth;
+            } else if (toks[j].text == ")") {
+                if (--depth == 0)
+                    break;
+            } else if (toks[j].kind == TokKind::Ident) {
+                // Identifiers splice runtime values in; std::string
+                // scaffolding alone does not.
+                if (toks[j].text != "std" && toks[j].text != "string")
+                    has_context = true;
+            } else if (toks[j].kind == TokKind::String &&
+                       toks[j].text.find("--") != std::string::npos) {
+                has_context = true; // names the offending flag
+            }
+        }
+        if (!has_context) {
+            out.push_back(
+                {"config-error-context", ctx.path, toks[i].line,
+                 "ConfigError without the offending flag/value; the "
+                 "user must see WHAT input was bad, not just that "
+                 "something was"});
+        }
+    }
+}
+
+std::string
+expected_guard(const std::string& path)
+{
+    std::string p = path;
+    if (p.rfind("src/", 0) == 0)
+        p = p.substr(4);
+    std::string guard = "IMC_";
+    for (const char c : p) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            guard += static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c)));
+        else
+            guard += '_';
+    }
+    return guard;
+}
+
+bool
+is_blank(const std::string& s)
+{
+    return s.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+void
+rule_header_guard(const FileContext& ctx,
+                  std::vector<Diagnostic>& out)
+{
+    if (ctx.path.size() < 4 ||
+        ctx.path.compare(ctx.path.size() - 4, 4, ".hpp") != 0)
+        return;
+    const std::string guard = expected_guard(ctx.path);
+    // First two preprocessor directives must open the guard.
+    std::vector<std::pair<int, std::string>> directives;
+    for (std::size_t i = 0;
+         i < ctx.lines.size() && directives.size() < 2; ++i) {
+        const std::string& l = ctx.lines[i];
+        const std::size_t pos = l.find_first_not_of(" \t");
+        if (pos != std::string::npos && l[pos] == '#')
+            directives.emplace_back(static_cast<int>(i) + 1,
+                                    l.substr(pos));
+    }
+    const std::string want_ifndef = "#ifndef " + guard;
+    const std::string want_define = "#define " + guard;
+    if (directives.empty() || directives[0].second != want_ifndef) {
+        out.push_back({"header-guard", ctx.path,
+                       directives.empty() ? 1 : directives[0].first,
+                       "header must open with '" + want_ifndef + "'"});
+        return; // the rest would cascade
+    }
+    if (directives.size() < 2 ||
+        directives[1].second != want_define) {
+        out.push_back({"header-guard", ctx.path,
+                       directives.size() < 2 ? directives[0].first
+                                             : directives[1].first,
+                       "'" + want_ifndef + "' must be followed by '" +
+                           want_define + "'"});
+    }
+    // Last non-blank line closes it, naming the guard.
+    for (std::size_t i = ctx.lines.size(); i > 0; --i) {
+        const std::string& l = ctx.lines[i - 1];
+        if (is_blank(l))
+            continue;
+        if (l.rfind("#endif", 0) != 0 ||
+            l.find(guard) == std::string::npos) {
+            out.push_back({"header-guard", ctx.path,
+                           static_cast<int>(i),
+                           "header must close with '#endif // " +
+                               guard + "'"});
+        }
+        break;
+    }
+}
+
+void
+rule_include_order(const FileContext& ctx,
+                   std::vector<Diagnostic>& out)
+{
+    // Convention across the tree: an optional leading quoted group
+    // (the file's own header), then every <system> include, then
+    // every "project" include — i.e. the kinds sequence must match
+    // Q* A* Q*. An angle include after the project group interleaves
+    // the groups.
+    int phase = 0; // 0: leading Q, 1: A, 2: trailing Q
+    for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+        const std::string& l = ctx.lines[i];
+        std::size_t pos = l.find_first_not_of(" \t");
+        if (pos == std::string::npos ||
+            l.compare(pos, 8, "#include") != 0)
+            continue;
+        pos = l.find_first_of("<\"", pos + 8);
+        if (pos == std::string::npos)
+            continue; // computed include; out of scope
+        const bool angle = l[pos] == '<';
+        if (angle) {
+            if (phase == 0)
+                phase = 1;
+            else if (phase == 2)
+                out.push_back(
+                    {"include-order", ctx.path,
+                     static_cast<int>(i) + 1,
+                     "<system> include after the \"project\" "
+                     "include group; order is own header, <system>, "
+                     "then \"project\""});
+        } else {
+            if (phase == 1)
+                phase = 2;
+        }
+    }
+}
+
+void
+rule_obs_gate(const FileContext& ctx, std::vector<Diagnostic>& out)
+{
+    // The obs implementation itself is the one place allowed to
+    // spell the functions out (it defines the macros).
+    if (ctx.path.rfind("src/common/obs.", 0) == 0)
+        return;
+    static const std::set<std::string> kGated = {
+        "count",   "gauge_set",     "gauge_max",
+        "observe", "trace_counter", "Span"};
+    const Tokens& toks = ctx.lex.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (is_ident(toks[i], "obs") && toks[i + 1].text == "::" &&
+            toks[i + 2].kind == TokKind::Ident &&
+            kGated.count(toks[i + 2].text) > 0) {
+            out.push_back(
+                {"obs-gate", ctx.path, toks[i].line,
+                 "direct call to obs::" + toks[i + 2].text +
+                     "; use the IMC_OBS_* macro so IMC_OBS_DISABLED "
+                     "builds never evaluate the arguments"});
+        }
+    }
+}
+
+} // namespace
+
+std::set<std::string>
+unordered_decl_names_in(const std::string& content)
+{
+    return unordered_decl_names(lex(content).tokens);
+}
+
+const std::map<std::string, std::string>&
+rule_descriptions()
+{
+    static const std::map<std::string, std::string> kRules = {
+        {"determinism-rand",
+         "no wall-clock or libc randomness in figure-feeding code"},
+        {"determinism-unordered-iter",
+         "no iteration over unordered containers"},
+        {"banned-number-parse",
+         "no atoi/atof/strtol-family parsing"},
+        {"banned-printf",
+         "no printf-family output in library code"},
+        {"banned-new-delete", "no naked new/delete"},
+        {"config-error-context",
+         "throw ConfigError must embed the offending flag/value"},
+        {"header-guard",
+         "guards named IMC_<PATH>_HPP with annotated #endif"},
+        {"include-order",
+         "own header, then <system>, then \"project\" includes"},
+        {"obs-gate",
+         "obs recording only via the gated IMC_OBS_* macros"},
+        {"lint-suppression",
+         "suppressions must name a known rule and be justified"},
+    };
+    return kRules;
+}
+
+std::vector<Diagnostic>
+run_rules(const FileContext& ctx, const Options& opts)
+{
+    std::vector<Diagnostic> out;
+    const bool lib = ctx.category == Category::Library;
+    const bool figure_feeding = lib || ctx.category == Category::Bench ||
+                                ctx.category == Category::Example;
+    const bool enabled_det =
+        figure_feeding || ctx.category == Category::Tool;
+    if (enabled_det)
+        rule_determinism_rand(ctx, out);
+    if (figure_feeding)
+        rule_determinism_unordered_iter(ctx, out);
+    rule_banned_number_parse(ctx, out);
+    if (lib)
+        rule_banned_printf(ctx, out);
+    rule_banned_new_delete(ctx, out);
+    rule_config_error_context(ctx, out);
+    rule_header_guard(ctx, out);
+    rule_include_order(ctx, out);
+    if (lib)
+        rule_obs_gate(ctx, out);
+    if (!opts.disabled_rules.empty()) {
+        out.erase(std::remove_if(
+                      out.begin(), out.end(),
+                      [&](const Diagnostic& d) {
+                          return opts.disabled_rules.count(d.rule) > 0;
+                      }),
+                  out.end());
+    }
+    return out;
+}
+
+} // namespace imc::lint
