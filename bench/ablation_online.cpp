@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/fault.hpp"
 #include "common/obs.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
@@ -31,6 +32,7 @@ main(int argc, char** argv)
 {
     const Cli cli(argc, argv);
     const obs::Session obs_session(cli);
+    const fault::Session fault_session(cli);
     auto cfg = benchutil::config_from_cli(cli);
     if (!cli.has("reps"))
         cfg.reps = 1; // each observation is a single production run

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/fault.hpp"
 #include "common/obs.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -28,6 +29,7 @@ main(int argc, char** argv)
 {
     const Cli cli(argc, argv);
     const obs::Session obs_session(cli);
+    const fault::Session fault_session(cli);
     const auto cfg = benchutil::config_from_cli(cli);
 
     std::vector<Mix> mixes;

@@ -23,6 +23,7 @@
 #include "bench_util.hpp"
 #include "common/chart.hpp"
 #include "common/cli.hpp"
+#include "common/fault.hpp"
 #include "common/obs.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -37,6 +38,7 @@ main(int argc, char** argv)
 {
     const Cli cli(argc, argv);
     const obs::Session obs_session(cli);
+    const fault::Session fault_session(cli);
     workload::RunConfig cfg;
     cfg.seed = cli.get_u64("seed", 42);
     cfg.reps = cli.get_int("reps", 3);

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/fault.hpp"
 #include "common/obs.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -23,6 +24,7 @@ main(int argc, char** argv)
 {
     const Cli cli(argc, argv);
     const obs::Session obs_session(cli);
+    const fault::Session fault_session(cli);
     const auto cfg = benchutil::config_from_cli(cli);
     const auto targets = benchutil::apps_from_cli(cli);
     const auto& gems = workload::find_app("M.Gems");

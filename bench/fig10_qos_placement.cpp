@@ -17,6 +17,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/fault.hpp"
 #include "common/obs.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -32,6 +33,7 @@ main(int argc, char** argv)
 {
     const Cli cli(argc, argv);
     const obs::Session obs_session(cli);
+    const fault::Session fault_session(cli);
     const auto cfg = benchutil::config_from_cli(cli);
     const int iters = cli.get_int("iters", 4000);
     const double qos_perf = cli.get_double("qos", 0.8);

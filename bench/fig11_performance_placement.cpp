@@ -17,6 +17,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/fault.hpp"
 #include "common/obs.hpp"
 #include "common/chart.hpp"
 #include "common/stats.hpp"
@@ -51,6 +52,7 @@ main(int argc, char** argv)
 {
     const Cli cli(argc, argv);
     const obs::Session obs_session(cli);
+    const fault::Session fault_session(cli);
     auto cfg = benchutil::config_from_cli(cli);
     if (!cli.has("reps"))
         cfg.reps = 5; // placement spreads are a few percent: average more

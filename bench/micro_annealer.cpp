@@ -23,6 +23,7 @@
 #include <thread>
 
 #include "bench_util.hpp"
+#include "common/fault.hpp"
 #include "common/obs.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -48,6 +49,7 @@ run(int argc, char** argv)
 {
     const Cli cli(argc, argv);
     const obs::Session obs_session(cli);
+    const fault::Session fault_session(cli);
     auto cfg = benchutil::config_from_cli(cli);
     cfg.cluster.num_nodes = cli.get_int("nodes", 16);
     cfg.cluster.name = "private" +

@@ -20,6 +20,7 @@
 #include <iostream>
 
 #include "common/cli.hpp"
+#include "common/fault.hpp"
 #include "common/obs.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -36,6 +37,7 @@ main(int argc, char** argv)
 {
     const Cli cli(argc, argv);
     const obs::Session obs_session(cli);
+    const fault::Session fault_session(cli);
     workload::RunConfig cfg;
     cfg.seed = cli.get_u64("seed", 5);
     cfg.reps = cli.get_int("reps", 2);

@@ -45,6 +45,7 @@
 
 #include "bench_util.hpp"
 #include "common/cli.hpp"
+#include "common/fault.hpp"
 #include "common/obs.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -278,6 +279,7 @@ main(int argc, char** argv)
     const Cli cli(argc - 1, argv + 1);
     try {
         const obs::Session obs_session(cli);
+        const fault::Session fault_session(cli);
         if (command == "profile")
             return cmd_profile(cli);
         if (command == "show")

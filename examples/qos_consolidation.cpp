@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "common/cli.hpp"
+#include "common/fault.hpp"
 #include "common/obs.hpp"
 #include "common/strings.hpp"
 #include "placement/annealer.hpp"
@@ -33,6 +34,7 @@ main(int argc, char** argv)
 {
     const Cli cli(argc, argv);
     const obs::Session obs_session(cli);
+    const fault::Session fault_session(cli);
     workload::RunConfig cfg;
     cfg.seed = cli.get_u64("seed", 11);
     cfg.reps = cli.get_int("reps", 3);

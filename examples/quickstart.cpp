@@ -17,6 +17,7 @@
 #include <iostream>
 
 #include "common/cli.hpp"
+#include "common/fault.hpp"
 #include "common/obs.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
@@ -32,6 +33,7 @@ main(int argc, char** argv)
 {
     const Cli cli(argc, argv);
     const obs::Session obs_session(cli);
+    const fault::Session fault_session(cli);
 
     // 1. The cluster profile and the applications involved.
     workload::RunConfig cfg;

@@ -35,6 +35,18 @@ class LogicBug : public Error {
 };
 
 /**
+ * A cluster measurement permanently failed — the RunService exhausted
+ * its retry budget against (injected or real) transient failures.
+ * Layers that can degrade catch this specifically: the profilers fill
+ * the failed cell via interpolation and report it in degraded_cells;
+ * everything else treats it as an ordinary Error.
+ */
+class MeasurementFailed : public Error {
+  public:
+    explicit MeasurementFailed(const std::string& what) : Error(what) {}
+};
+
+/**
  * Check a user-facing precondition; throw ConfigError on failure.
  *
  * @param cond condition that must hold

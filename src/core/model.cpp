@@ -1,5 +1,6 @@
 #include "core/model.hpp"
 
+#include <cmath>
 #include <utility>
 
 #include "common/error.hpp"
@@ -13,8 +14,11 @@ InterferenceModel::InterferenceModel(std::string app,
     : app_(std::move(app)), matrix_(std::move(matrix)), policy_(policy),
       bubble_score_(bubble_score)
 {
-    require(bubble_score_ >= 0.0,
-            "InterferenceModel: negative bubble score");
+    // isfinite too: a serialized "score inf" satisfied >= 0 and was
+    // silently accepted (found by the serialize fuzz round-trip
+    // tests), making every pressure-list lookup non-finite.
+    require(bubble_score_ >= 0.0 && std::isfinite(bubble_score_),
+            "InterferenceModel: bubble score must be finite and >= 0");
 }
 
 double

@@ -52,33 +52,56 @@ make_grid(const ProfileOptions& opts)
 }
 
 /**
+ * Measure one setting, tolerating permanent failure. A cell whose
+ * cluster run exhausted the RunService's retries (MeasurementFailed)
+ * stays a hole for the interpolation fill and is counted in
+ * @p degraded; every other error still propagates. Each algorithm
+ * touches each cell at most once, so the count is exact — and, since
+ * fault decisions are content-keyed, identical across thread counts.
+ */
+double
+try_measure(CountingMeasure& measure, int pressure, int nodes,
+            std::atomic<int>& degraded)
+{
+    try {
+        return measure(pressure, nodes);
+    } catch (const MeasurementFailed&) {
+        degraded.fetch_add(1, std::memory_order_relaxed);
+        return kHole;
+    }
+}
+
+/**
  * Recursive bisection of one row (the paper's profile_binary_row):
- * refine (lo, hi) only while the endpoint values differ enough.
+ * refine (lo, hi) only while the endpoint values differ enough. A
+ * hole endpoint (permanently failed run) stops refinement of its
+ * interval — the interpolation fill covers it.
  */
 void
 binary_row(Grid& grid, CountingMeasure& measure, int pressure, int lo,
-           int hi, double epsilon)
+           int hi, double epsilon, std::atomic<int>& degraded)
 {
     if (hi - lo <= 1)
         return;
     auto& row = grid[static_cast<std::size_t>(pressure - 1)];
     const double v_lo = row[static_cast<std::size_t>(lo)];
     const double v_hi = row[static_cast<std::size_t>(hi)];
-    invariant(!is_hole(v_lo) && !is_hole(v_hi),
-              "binary_row: endpoints not measured");
+    if (is_hole(v_lo) || is_hole(v_hi))
+        return; // failed endpoint: leave the interval to the fill
     if (std::fabs(v_hi - v_lo) < epsilon)
         return; // flat enough: interpolation will fill the inside
     const int mid = (lo + hi) / 2;
-    row[static_cast<std::size_t>(mid)] = measure(pressure, mid);
-    binary_row(grid, measure, pressure, lo, mid, epsilon);
-    binary_row(grid, measure, pressure, mid, hi, epsilon);
+    row[static_cast<std::size_t>(mid)] =
+        try_measure(measure, pressure, mid, degraded);
+    binary_row(grid, measure, pressure, lo, mid, epsilon, degraded);
+    binary_row(grid, measure, pressure, mid, hi, epsilon, degraded);
 }
 
 /** Column counterpart (the paper's profile_binary_col), at node
  *  count j, bisecting over pressure levels. */
 void
 binary_col(Grid& grid, CountingMeasure& measure, int j, int p_lo,
-           int p_hi, double epsilon)
+           int p_hi, double epsilon, std::atomic<int>& degraded)
 {
     if (p_hi - p_lo <= 1)
         return;
@@ -86,15 +109,42 @@ binary_col(Grid& grid, CountingMeasure& measure, int j, int p_lo,
         grid[static_cast<std::size_t>(p_lo - 1)][static_cast<std::size_t>(j)];
     const double v_hi =
         grid[static_cast<std::size_t>(p_hi - 1)][static_cast<std::size_t>(j)];
-    invariant(!is_hole(v_lo) && !is_hole(v_hi),
-              "binary_col: endpoints not measured");
+    if (is_hole(v_lo) || is_hole(v_hi))
+        return; // failed endpoint: leave the interval to the fill
     if (std::fabs(v_hi - v_lo) < epsilon)
         return;
     const int mid = (p_lo + p_hi) / 2;
     grid[static_cast<std::size_t>(mid - 1)][static_cast<std::size_t>(j)] =
-        measure(mid, j);
-    binary_col(grid, measure, j, p_lo, mid, epsilon);
-    binary_col(grid, measure, j, mid, p_hi, epsilon);
+        try_measure(measure, mid, j, degraded);
+    binary_col(grid, measure, j, p_lo, mid, epsilon, degraded);
+    binary_col(grid, measure, j, mid, p_hi, epsilon, degraded);
+}
+
+/**
+ * Clamp-extend edge holes so interpolate_holes always sees measured
+ * endpoints: leading holes take the first measured value, trailing
+ * holes the last (the same conservative clamping the model applies
+ * to out-of-range queries). No-op when every value is a hole.
+ */
+void
+clamp_edge_holes(std::vector<double>& vals)
+{
+    std::size_t first = vals.size();
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+        if (!is_hole(vals[i])) {
+            first = i;
+            break;
+        }
+    }
+    if (first == vals.size())
+        return; // nothing measured: caller's problem
+    for (std::size_t i = 0; i < first; ++i)
+        vals[i] = vals[first];
+    std::size_t last = vals.size() - 1;
+    while (is_hole(vals[last]))
+        --last;
+    for (std::size_t i = last + 1; i < vals.size(); ++i)
+        vals[i] = vals[last];
 }
 
 /** Fill holes of one row by linear interpolation (interpolate_row). */
@@ -104,6 +154,7 @@ interpolate_row(Grid& grid, int pressure)
     auto& row = grid[static_cast<std::size_t>(pressure - 1)];
     // interpolate_holes uses an exact sentinel; convert NaN holes.
     std::vector<double> tmp = row;
+    clamp_edge_holes(tmp);
     constexpr double sentinel = -1.0;
     for (auto& v : tmp) {
         if (is_hole(v))
@@ -121,6 +172,7 @@ interpolate_col(Grid& grid, int j)
     col.reserve(grid.size());
     for (const auto& row : grid)
         col.push_back(row[static_cast<std::size_t>(j)]);
+    clamp_edge_holes(col);
     constexpr double sentinel = -1.0;
     for (auto& v : col) {
         if (is_hole(v))
@@ -172,15 +224,25 @@ for_each_row(int n, int tasks, const std::function<void(int)>& fn)
 
 ProfileResult
 finish(Grid grid, CountingMeasure& measure, const ProfileOptions& opts,
-       const char* algo)
+       const char* algo, int degraded)
 {
+    if (degraded > 0) {
+        // Degraded fill: permanently failed cells (and anything the
+        // failure prevented the algorithm from inferring) are filled
+        // row-wise by the interpolation path — clamped edge extension
+        // plus linear fill; column 0 is 1.0 by definition, so every
+        // row has at least one measured anchor.
+        for (int p = 1; p <= opts.pressure_levels(); ++p)
+            interpolate_row(grid, p);
+    }
     for (const auto& row : grid) {
         for (double v : row)
             invariant(!is_hole(v), "profilers: unfilled hole remains");
     }
     ProfileResult result{
         SensitivityMatrix(std::move(grid), opts.grid),
-        measure.measured(), opts.pressure_levels() * opts.hosts};
+        measure.measured(), opts.pressure_levels() * opts.hosts,
+        degraded};
     if (IMC_OBS_ENABLED()) {
         // Rows measured vs inferred per algorithm (Table 3's cost
         // accounting, live). measured() is cumulative per wrapper, so
@@ -192,6 +254,9 @@ finish(Grid grid, CountingMeasure& measure, const ProfileOptions& opts,
         IMC_OBS_COUNT(prefix + ".interpolated",
                    static_cast<std::uint64_t>(
                        result.total_settings - result.measured));
+        if (degraded > 0)
+            IMC_OBS_COUNT(prefix + ".degraded_cells",
+                       static_cast<std::uint64_t>(degraded));
     }
     return result;
 }
@@ -216,13 +281,16 @@ profile_exhaustive(CountingMeasure& measure, const ProfileOptions& opts)
     }
     measure.prefetch(all);
 
+    std::atomic<int> degraded{0};
     for_each_row(n, opts.row_tasks, [&](int p) {
         for (int j = 1; j <= m; ++j) {
             grid[static_cast<std::size_t>(p - 1)]
-                [static_cast<std::size_t>(j)] = measure(p, j);
+                [static_cast<std::size_t>(j)] =
+                    try_measure(measure, p, j, degraded);
         }
     });
-    return finish(std::move(grid), measure, opts, "exhaustive");
+    return finish(std::move(grid), measure, opts, "exhaustive",
+                  degraded.load());
 }
 
 ProfileResult
@@ -243,13 +311,16 @@ profile_binary_brute(CountingMeasure& measure, const ProfileOptions& opts)
 
     // Rows are independent (a row's bisection reads only its own
     // entries), so they can refine concurrently.
+    std::atomic<int> degraded{0};
     for_each_row(n, opts.row_tasks, [&](int p) {
         grid[static_cast<std::size_t>(p - 1)]
-            [static_cast<std::size_t>(m)] = measure(p, m);
-        binary_row(grid, measure, p, 0, m, opts.epsilon);
+            [static_cast<std::size_t>(m)] =
+                try_measure(measure, p, m, degraded);
+        binary_row(grid, measure, p, 0, m, opts.epsilon, degraded);
         interpolate_row(grid, p);
     });
-    return finish(std::move(grid), measure, opts, "binary-brute");
+    return finish(std::move(grid), measure, opts, "binary-brute",
+                  degraded.load());
 }
 
 ProfileResult
@@ -262,24 +333,28 @@ profile_binary_optimized(CountingMeasure& measure,
     const int m = opts.hosts;
 
     // Anchors: max-node count at min and max pressure.
+    std::atomic<int> degraded{0};
     measure.prefetch({{1, m}, {n, m}});
-    grid[0][static_cast<std::size_t>(m)] = measure(1, m);
+    grid[0][static_cast<std::size_t>(m)] =
+        try_measure(measure, 1, m, degraded);
     grid[static_cast<std::size_t>(n - 1)][static_cast<std::size_t>(m)] =
-        measure(n, m);
+        try_measure(measure, n, m, degraded);
 
     // Top-pressure row via binary search.
-    binary_row(grid, measure, n, 0, m, opts.epsilon);
+    binary_row(grid, measure, n, 0, m, opts.epsilon, degraded);
     interpolate_row(grid, n);
 
     // Max-node column via binary search over pressures (only when
     // there are intermediate pressure levels).
     if (n >= 2) {
-        binary_col(grid, measure, m, 1, n, opts.epsilon);
+        binary_col(grid, measure, m, 1, n, opts.epsilon, degraded);
         interpolate_col(grid, m);
     }
 
     // Infer the interior: shapes are similar across pressures, so
-    // scale the top row by each pressure's reach at m nodes.
+    // scale the top row by each pressure's reach at m nodes. NaN
+    // anchors (failed runs) propagate NaN into the inferred cells;
+    // finish()'s degraded fill then covers them.
     const double top_reach =
         grid[static_cast<std::size_t>(n - 1)][static_cast<std::size_t>(m)] -
         1.0;
@@ -302,8 +377,8 @@ profile_binary_optimized(CountingMeasure& measure,
             }
         }
     }
-    return finish(std::move(grid), measure, opts,
-                  "binary-optimized");
+    return finish(std::move(grid), measure, opts, "binary-optimized",
+                  degraded.load());
 }
 
 ProfileResult
@@ -346,14 +421,16 @@ profile_random(CountingMeasure& measure, const ProfileOptions& opts,
     }
 
     measure.prefetch(chosen);
+    std::atomic<int> degraded{0};
     for (const auto& [p, j] : chosen) {
         grid[static_cast<std::size_t>(p - 1)][static_cast<std::size_t>(j)] =
-            measure(p, j);
+            try_measure(measure, p, j, degraded);
     }
 
     for (int p = 1; p <= n; ++p)
         interpolate_row(grid, p);
-    return finish(std::move(grid), measure, opts, "random");
+    return finish(std::move(grid), measure, opts, "random",
+                  degraded.load());
 }
 
 double

@@ -42,6 +42,16 @@ struct ProfileResult {
     int measured = 0;
     /** Total billable settings (n * m). */
     int total_settings = 0;
+    /**
+     * Cells whose cluster run permanently failed (MeasurementFailed
+     * after the RunService exhausted its retries). The profiler
+     * degrades instead of aborting: a failed cell is filled by the
+     * interpolation path (clamped edge extension + linear fill), so
+     * the matrix is still complete — just coarser where the cluster
+     * misbehaved. Failed cells are not billed in `measured`. Always 0
+     * without an armed fault schedule.
+     */
+    int degraded_cells = 0;
 
     /** Fraction of settings measured, in [0, 1]. */
     double cost() const

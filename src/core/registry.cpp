@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/obs.hpp"
 #include "core/serialize.hpp"
 
@@ -178,19 +179,52 @@ ModelRegistry::prefetch(const std::vector<workload::AppSpec>& apps,
     }
 }
 
+void
+ModelRegistry::quarantine(const std::string& path)
+{
+    // Move the corrupt entry aside (keeping it for post-mortem) so
+    // the rebuild below can atomically write a fresh one; if even the
+    // rename fails, fall back to deleting the entry.
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".quarantined", ec);
+    if (ec)
+        std::filesystem::remove(path, ec);
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
+    IMC_OBS_COUNT("registry.quarantined");
+}
+
 BuiltModel
 ModelRegistry::build(const workload::AppSpec& app, int deploy_nodes)
 {
     // 0. Persistent cache: a model profiled by an earlier invocation
     // with the identical configuration is simply reloaded (the paper's
-    // profile-once deployment story, Section 4.4).
+    // profile-once deployment story, Section 4.4). A corrupt entry —
+    // torn file, foreign bytes, injected corruption — is quarantined
+    // and rebuilt instead of crashing the pipeline.
     const std::string path = cache_path(app.abbrev, deploy_nodes);
     if (!path.empty() && std::filesystem::exists(path)) {
-        BuiltModel loaded{load_model_file(path), {}, 0.0, true};
-        require(loaded.model.app() == app.abbrev,
-                "ModelRegistry: cached model app mismatch in " + path);
-        IMC_OBS_COUNT("registry.disk_cache_hits");
-        return loaded;
+        try {
+            // Keyed by the entry's file name (stable across cache
+            // directories), so an injected-corruption schedule hits
+            // the same entries in every environment.
+            if (IMC_FAULT_PROBE(
+                    "registry.cache.load",
+                    std::filesystem::path(path).filename().string(), 0)
+                    .corrupt) {
+                throw ConfigError(
+                    "ModelRegistry: fault-injected corruption "
+                    "reading '" +
+                    path + "'");
+            }
+            BuiltModel loaded{load_model_file(path), {}, 0.0, true};
+            require(loaded.model.app() == app.abbrev,
+                    "ModelRegistry: cached model app mismatch in " +
+                        path);
+            IMC_OBS_COUNT("registry.disk_cache_hits");
+            return loaded;
+        } catch (const ConfigError&) {
+            quarantine(path);
+        }
     }
     IMC_OBS_SPAN(span, "registry.build:" + app.abbrev);
     IMC_OBS_COUNT("registry.builds");
@@ -239,9 +273,18 @@ ModelRegistry::build(const workload::AppSpec& app, int deploy_nodes)
         fits, profile.cost(), false};
 
     if (!path.empty()) {
-        std::filesystem::create_directories(
-            std::filesystem::path(path).parent_path());
-        save_model_file(path, built.model);
+        // Race-free directory creation (concurrent registries may
+        // share a cache dir): losing the creation race is fine as
+        // long as the directory exists afterwards.
+        const auto dir = std::filesystem::path(path).parent_path();
+        if (!dir.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(dir, ec);
+            require(!ec || std::filesystem::is_directory(dir),
+                    "ModelRegistry: cannot create model cache dir '" +
+                        dir.string() + "'");
+        }
+        save_model_file_atomic(path, built.model);
     }
     return built;
 }

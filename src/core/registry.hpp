@@ -21,6 +21,7 @@
  * model is the paper's own deployment story, Section 4.4).
  */
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -126,6 +127,17 @@ class ModelRegistry {
     /** The measurement backend, or nullptr when measuring inline. */
     workload::RunService* service() const { return service_; }
 
+    /**
+     * Corrupt on-disk cache entries detected (and moved aside) so
+     * far. A corrupt entry — torn file, wrong format, injected
+     * corruption — is renamed to "<entry>.quarantined" and the model
+     * is rebuilt from scratch instead of crashing the pipeline.
+     */
+    std::uint64_t quarantined_count() const
+    {
+        return quarantined_.load(std::memory_order_relaxed);
+    }
+
   private:
     /** One cache slot; built at most once via its flag. */
     struct Slot {
@@ -139,10 +151,14 @@ class ModelRegistry {
     std::string cache_path(const std::string& abbrev,
                            int deploy_nodes) const;
 
+    /** Move a corrupt cache entry aside and count it. */
+    void quarantine(const std::string& path);
+
     workload::RunConfig cfg_;
     ModelBuildOptions opts_;
     workload::RunService* service_ = nullptr;
     BubbleScorer scorer_;
+    std::atomic<std::uint64_t> quarantined_{0};
     /** Guards cache_ only; builds run outside it. */
     std::mutex mutex_;
     std::map<std::pair<std::string, int>, std::shared_ptr<Slot>>

@@ -22,8 +22,12 @@ SensitivityMatrix::SensitivityMatrix(
     require(static_cast<int>(pressures_.size()) == n_,
             "SensitivityMatrix: pressure grid size mismatch");
     for (std::size_t i = 0; i < pressures_.size(); ++i) {
-        require(pressures_[i] > 0.0,
-                "SensitivityMatrix: pressures must be positive");
+        // isfinite too: "+inf" as the last pressure passed both the
+        // positivity and strictly-increasing checks (found by the
+        // serialize fuzz round-trip tests) and then poisoned every
+        // interpolated query.
+        require(pressures_[i] > 0.0 && std::isfinite(pressures_[i]),
+                "SensitivityMatrix: pressures must be positive finite");
         if (i > 0) {
             require(pressures_[i] > pressures_[i - 1],
                     "SensitivityMatrix: pressures must increase");

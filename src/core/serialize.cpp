@@ -1,5 +1,9 @@
 #include "core/serialize.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -175,6 +179,29 @@ save_model_file(const std::string& path, const InterferenceModel& model)
     save_model(os, model);
     require(static_cast<bool>(os),
             "save_model_file: write failed for '" + path + "'");
+}
+
+void
+save_model_file_atomic(const std::string& path,
+                       const InterferenceModel& model)
+{
+    namespace fs = std::filesystem;
+    // Unique sibling temp name (rename is atomic only within one
+    // directory/filesystem): pid + a process-wide ticket distinguish
+    // concurrent writers of the same path.
+    static std::atomic<std::uint64_t> ticket{0};
+    fs::path tmp(path);
+    tmp += ".tmp." + std::to_string(::getpid()) + "." +
+           std::to_string(ticket.fetch_add(1,
+                                           std::memory_order_relaxed));
+    save_model_file(tmp.string(), model);
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        throw ConfigError("save_model_file_atomic: cannot rename into '" +
+                          path + "'");
+    }
 }
 
 InterferenceModel

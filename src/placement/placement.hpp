@@ -63,6 +63,9 @@ class Placement {
     /** Cluster node count. */
     int num_nodes() const { return num_nodes_; }
 
+    /** Co-location slots per node. */
+    int slots_per_node() const { return slots_per_node_; }
+
     /** Node of one unit (-1 while unassigned). */
     sim::NodeId node_of(int instance, int unit) const;
 

@@ -1,0 +1,119 @@
+#include "placement/recovery.hpp"
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/obs.hpp"
+
+namespace imc::placement {
+
+RecoveryResult
+recover_after_crash(const Placement& placement,
+                    const std::vector<sim::NodeId>& dead,
+                    const Evaluator& evaluator, Goal goal,
+                    std::optional<QosConstraint> qos,
+                    const AnnealOptions& opts)
+{
+    IMC_OBS_SPAN(span, "placement.recover");
+    const int num_nodes = placement.num_nodes();
+    std::vector<char> is_dead(static_cast<std::size_t>(num_nodes), 0);
+    for (const sim::NodeId node : dead) {
+        require(node >= 0 && node < num_nodes,
+                "recover_after_crash: dead node out of range");
+        is_dead[static_cast<std::size_t>(node)] = 1;
+    }
+
+    // Current occupancy per node (units, any instance).
+    std::vector<int> load(static_cast<std::size_t>(num_nodes), 0);
+    Placement repaired = placement;
+    const auto& instances = repaired.instances();
+    for (int i = 0; i < repaired.num_instances(); ++i) {
+        for (int u = 0; u < instances[static_cast<std::size_t>(i)].units;
+             ++u) {
+            const sim::NodeId node = repaired.node_of(i, u);
+            require(node >= 0,
+                    "recover_after_crash: placement not fully assigned");
+            ++load[static_cast<std::size_t>(node)];
+        }
+    }
+
+    // Greedy repair: move each displaced unit (in deterministic
+    // (instance, unit) order) to the least-loaded surviving node with
+    // a free slot that its instance does not already occupy; ties
+    // break to the lowest node id.
+    int moved = 0;
+    for (int i = 0; i < repaired.num_instances(); ++i) {
+        for (int u = 0; u < instances[static_cast<std::size_t>(i)].units;
+             ++u) {
+            const sim::NodeId from = repaired.node_of(i, u);
+            if (!is_dead[static_cast<std::size_t>(from)])
+                continue;
+            sim::NodeId best = -1;
+            for (sim::NodeId node = 0; node < num_nodes; ++node) {
+                if (is_dead[static_cast<std::size_t>(node)])
+                    continue;
+                if (load[static_cast<std::size_t>(node)] >=
+                    repaired.slots_per_node())
+                    continue;
+                if (repaired.occupies(i, node))
+                    continue;
+                if (best < 0 ||
+                    load[static_cast<std::size_t>(node)] <
+                        load[static_cast<std::size_t>(best)])
+                    best = node;
+            }
+            require(best >= 0,
+                    "recover_after_crash: surviving capacity cannot "
+                    "hold every displaced unit");
+            repaired.assign(i, u, best);
+            --load[static_cast<std::size_t>(from)];
+            ++load[static_cast<std::size_t>(best)];
+            ++moved;
+        }
+    }
+    invariant(repaired.valid(),
+              "recover_after_crash: greedy repair left an invalid "
+              "placement");
+    IMC_OBS_COUNT("placement.recovered_units",
+                  static_cast<std::uint64_t>(moved));
+
+    // iterations = 0: the pure greedy repair, evaluated (the annealer
+    // itself requires at least one proposal).
+    if (opts.iterations == 0) {
+        const double total = evaluator.total_time(repaired);
+        bool qos_met = true;
+        if (qos) {
+            const auto times = evaluator.predict(repaired);
+            qos_met = times[static_cast<std::size_t>(qos->instance)] <=
+                      qos->max_norm_time;
+        }
+        return RecoveryResult{std::move(repaired), total, qos_met,
+                              moved};
+    }
+
+    // Annealer polish (swap-only proposals never resurrect a dead
+    // node: no unit sits on one).
+    const AnnealResult annealed =
+        anneal(std::move(repaired), evaluator, goal, qos, opts);
+    return RecoveryResult{annealed.placement, annealed.total_time,
+                          annealed.qos_met, moved};
+}
+
+std::vector<sim::NodeId>
+scheduled_crashes(const std::string& scenario, int num_nodes)
+{
+    std::vector<sim::NodeId> doomed;
+    if (!IMC_FAULT_ARMED())
+        return doomed;
+    for (sim::NodeId node = 0; node < num_nodes; ++node) {
+        const std::string key =
+            scenario + "#" + std::to_string(node);
+        if (IMC_FAULT_PROBE("sim.crash", key, 0).crash)
+            doomed.push_back(node);
+    }
+    return doomed;
+}
+
+} // namespace imc::placement

@@ -11,6 +11,7 @@ namespace imc::sim {
 Simulation::Simulation(ClusterSpec spec) : spec_(std::move(spec))
 {
     require(spec_.num_nodes > 0, "Simulation: cluster needs >= 1 node");
+    crashed_.assign(static_cast<std::size_t>(spec_.num_nodes), 0);
     node_tenants_.resize(static_cast<std::size_t>(spec_.num_nodes));
 }
 
@@ -32,6 +33,8 @@ Simulation::add_tenant(NodeId node, const TenantDemand& demand)
 {
     require(node >= 0 && node < spec_.num_nodes,
             "add_tenant: node index out of range");
+    require(!crashed_[static_cast<std::size_t>(node)],
+            "add_tenant: node has crashed");
     const auto id = static_cast<TenantId>(tenants_.size());
     tenants_.push_back(Tenant{node, demand, 1.0, true});
     node_tenants_[static_cast<std::size_t>(node)].push_back(id);
@@ -103,6 +106,8 @@ Simulation::compute(ProcId pid, double work, Callback done)
     require(work >= 0.0, "compute: negative work");
     auto& p = procs_.at(static_cast<std::size_t>(pid));
     invariant(!p.busy, "compute: proc already busy");
+    invariant(tenants_[static_cast<std::size_t>(p.tenant)].live,
+              "compute: proc's tenant was removed or crashed");
     p.busy = true;
     p.remaining = work;
     p.rate = 1.0 / tenants_[static_cast<std::size_t>(p.tenant)].slowdown;
@@ -116,6 +121,49 @@ bool
 Simulation::proc_busy(ProcId pid) const
 {
     return procs_.at(static_cast<std::size_t>(pid)).busy;
+}
+
+void
+Simulation::crash_node(NodeId node)
+{
+    require(node >= 0 && node < spec_.num_nodes,
+            "crash_node: node index out of range");
+    if (crashed_[static_cast<std::size_t>(node)])
+        return;
+    crashed_[static_cast<std::size_t>(node)] = 1;
+    ++stats_.node_crashes;
+    IMC_OBS_COUNT("sim.node_crashes");
+
+    // Kill in-flight work first: settle (for consistent accounting),
+    // cancel the completion, and drop the done callback — the work is
+    // lost with the node.
+    for (std::size_t pid = 0; pid < procs_.size(); ++pid) {
+        auto& p = procs_[pid];
+        if (!p.busy)
+            continue;
+        if (tenants_[static_cast<std::size_t>(p.tenant)].node != node)
+            continue;
+        settle(p);
+        queue_.cancel(p.event);
+        p.busy = false;
+        p.remaining = 0.0;
+        p.done = nullptr;
+    }
+
+    // Then drop the tenants and re-solve the (now empty) node.
+    auto& list = node_tenants_[static_cast<std::size_t>(node)];
+    for (const TenantId t : list)
+        tenants_[static_cast<std::size_t>(t)].live = false;
+    list.clear();
+    refresh_node(node);
+}
+
+bool
+Simulation::node_crashed(NodeId node) const
+{
+    require(node >= 0 && node < spec_.num_nodes,
+            "node_crashed: node index out of range");
+    return crashed_[static_cast<std::size_t>(node)] != 0;
 }
 
 void

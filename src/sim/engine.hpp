@@ -36,6 +36,8 @@ struct SimStats {
     std::uint64_t proc_reschedules = 0;
     /** compute() calls issued. */
     std::uint64_t computes = 0;
+    /** crash_node() events applied. */
+    std::uint64_t node_crashes = 0;
 };
 
 /**
@@ -111,6 +113,24 @@ class Simulation {
     /** True while the proc has an unfinished compute in flight. */
     bool proc_busy(ProcId p) const;
 
+    // --- Faults --------------------------------------------------------
+
+    /**
+     * Crash a node mid-run: every busy proc bound to a tenant on the
+     * node is settled and its completion event cancelled (its done
+     * callback is dropped — the in-flight work is lost), every tenant
+     * on the node is removed, and the node refuses new tenants from
+     * then on. Survivors on other nodes are untouched; re-placing the
+     * lost units is the placement layer's job
+     * (placement::recover_after_crash). Crashing a node twice is a
+     * no-op; this may be called from inside a scheduled event (a
+     * mid-run crash) or between runs.
+     */
+    void crash_node(NodeId node);
+
+    /** True once @p node has crashed. */
+    bool node_crashed(NodeId node) const;
+
     // --- Execution -----------------------------------------------------
 
     /**
@@ -162,6 +182,7 @@ class Simulation {
     ClusterSpec spec_;
     EventQueue queue_;
     SimStats stats_;
+    std::vector<char> crashed_; // per-node crash flag
     std::vector<std::vector<TenantId>> node_tenants_;
     std::vector<Tenant> tenants_;
     std::vector<Proc> procs_;

@@ -1,9 +1,12 @@
 #include "workload/run_service.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <chrono>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/obs.hpp"
 
 namespace imc::workload {
@@ -215,6 +218,7 @@ struct RunService::Handle::Entry {
 /** One queued measurement. */
 struct RunService::Job {
     RunRequest req;
+    std::string key; // canonical key, for fault-schedule probes
     std::shared_ptr<Handle::Entry> entry;
 };
 
@@ -238,14 +242,30 @@ RunService::Handle::ready() const
 }
 
 RunService::RunService(int threads)
+    : RunService([threads] {
+          RunServiceOptions opts;
+          opts.threads = threads;
+          return opts;
+      }())
 {
-    require(threads >= 0, "RunService: negative thread count");
-    if (threads == 0) {
-        threads = static_cast<int>(std::thread::hardware_concurrency());
-        if (threads < 1)
-            threads = 1;
+}
+
+RunService::RunService(const RunServiceOptions& opts) : opts_(opts)
+{
+    require(opts_.threads >= 0, "RunService: negative thread count");
+    require(opts_.max_attempts >= 1,
+            "RunService: max_attempts must be >= 1");
+    require(opts_.timeout_ms > 0.0,
+            "RunService: timeout_ms must be > 0");
+    require(opts_.backoff_base_ms >= 0.0,
+            "RunService: backoff_base_ms must be >= 0");
+    if (opts_.threads == 0) {
+        opts_.threads =
+            static_cast<int>(std::thread::hardware_concurrency());
+        if (opts_.threads < 1)
+            opts_.threads = 1;
     }
-    threads_ = threads;
+    threads_ = opts_.threads;
     if (threads_ > 1) {
         workers_.reserve(static_cast<std::size_t>(threads_));
         for (int i = 0; i < threads_; ++i)
@@ -278,16 +298,88 @@ RunService::worker_loop()
             job = std::move(queue_.front());
             queue_.pop_front();
         }
-        double value = 0.0;
-        std::exception_ptr error;
-        try {
-            IMC_OBS_SPAN(span, "runservice.execute");
-            value = execute_request(job.req);
-        } catch (...) {
-            error = std::current_exception();
-        }
-        job.entry->finish(value, error);
+        execute_into(job.req, job.key, *job.entry);
     }
+}
+
+double
+RunService::execute_with_faults(
+    const RunRequest& req,
+    // Only the probe macro reads the key, so IMC_FAULT_DISABLED
+    // builds (which fold the probe to a constant) never touch it.
+    [[maybe_unused]] const std::string& key)
+{
+    // Unfaulted fast path: exactly the recorded-figure code path (no
+    // attempt loop, no clocks).
+    if (!IMC_FAULT_ARMED()) {
+        IMC_OBS_SPAN(span, "runservice.execute");
+        return execute_request(req);
+    }
+    const int attempts = opts_.max_attempts;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        const fault::Outcome injected = IMC_FAULT_PROBE(
+            "run.exec", key, static_cast<std::uint64_t>(attempt));
+        bool timed_out = false;
+        if (injected.delay_ms > 0.0) {
+            if (injected.delay_ms >= opts_.timeout_ms) {
+                // Straggler past the deadline: a timeout, retried
+                // WITHOUT serving the injected delay — a "hung"
+                // schedule cannot hang the service.
+                timed_out = true;
+            } else {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        injected.delay_ms));
+            }
+        }
+        if (!timed_out && !injected.fail) {
+            IMC_OBS_SPAN(span, "runservice.execute");
+            return execute_request(req);
+        }
+        const bool retrying = attempt + 1 < attempts;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (timed_out)
+                ++stats_.timeouts;
+            if (retrying)
+                ++stats_.retries;
+            else
+                ++stats_.failed;
+        }
+        if (IMC_OBS_ENABLED()) {
+            if (timed_out)
+                IMC_OBS_COUNT("run.timeouts");
+            if (retrying)
+                IMC_OBS_COUNT("run.retries");
+            else
+                IMC_OBS_COUNT("run.failed");
+        }
+        if (retrying && opts_.backoff_base_ms > 0.0) {
+            // Deterministic exponential backoff: base * 2^attempt ms.
+            // Pure wall-clock pacing — it never feeds a value.
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    opts_.backoff_base_ms *
+                    static_cast<double>(1u << std::min(attempt, 20))));
+        }
+    }
+    throw MeasurementFailed(
+        "RunService: measurement permanently failed after " +
+        std::to_string(attempts) + " attempts at site run.exec");
+}
+
+void
+RunService::execute_into(const RunRequest& req, const std::string& key,
+                         Handle::Entry& entry)
+{
+    double value = 0.0;
+    std::exception_ptr error;
+    try {
+        value = execute_with_faults(req, key);
+    } catch (...) {
+        error = std::current_exception();
+    }
+    entry.finish(value, error);
 }
 
 RunService::Handle
@@ -307,11 +399,11 @@ RunService::submit(const RunRequest& req)
             entry = it->second;
         } else {
             entry = std::make_shared<Handle::Entry>();
-            cache_.emplace(std::move(key), entry);
+            cache_.emplace(key, entry);
             ++stats_.executed;
             fresh = true;
             if (threads_ > 1)
-                queue_.push_back(Job{req, entry});
+                queue_.push_back(Job{req, key, entry});
         }
         queue_depth = queue_.size();
     }
@@ -331,15 +423,7 @@ RunService::submit(const RunRequest& req)
             work_cv_.notify_one();
         } else {
             // Inline serial mode: execute at submit, on this thread.
-            double value = 0.0;
-            std::exception_ptr error;
-            try {
-                IMC_OBS_SPAN(span, "runservice.execute");
-                value = execute_request(req);
-            } catch (...) {
-                error = std::current_exception();
-            }
-            entry->finish(value, error);
+            execute_into(req, key, *entry);
         }
     }
     return Handle(std::move(entry));

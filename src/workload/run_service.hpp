@@ -105,6 +105,37 @@ std::string canonical_key(const RunRequest& req);
 double execute_request(const RunRequest& req);
 
 /**
+ * Robustness knobs of a RunService. They only take effect while a
+ * fault schedule is armed (imc::fault): real leaf runs are pure
+ * in-process functions that cannot fail or straggle, so the unfaulted
+ * fast path stays exactly the recorded-figure code path.
+ */
+struct RunServiceOptions {
+    /** Worker count; 1 = inline serial execution, 0 = hardware. */
+    int threads = 0;
+    /**
+     * Attempts per request (>= 1) before the service gives up and
+     * caches a MeasurementFailed for the request. Each retry re-rolls
+     * the fault schedule at the next attempt ordinal, so the decision
+     * stays a pure function of (seed, site, key, attempt).
+     */
+    int max_attempts = 3;
+    /**
+     * Per-request deadline against injected straggler latency, in
+     * ms. An injected delay >= this counts as a timeout (retriable)
+     * WITHOUT serving the full delay, so a "hung" schedule cannot
+     * hang the service; smaller delays are actually slept.
+     */
+    double timeout_ms = 20.0;
+    /**
+     * Deterministic exponential backoff between attempts:
+     * base * 2^attempt ms (0 disables sleeping; the schedule itself
+     * is unaffected — backoff never feeds any measured value).
+     */
+    double backoff_base_ms = 1.0;
+};
+
+/**
  * Batched, parallel, cache-backed measurement backend.
  *
  * Thread-safe. With threads == 1 the service executes requests inline
@@ -112,6 +143,12 @@ double execute_request(const RunRequest& req);
  * recorded figure benches ship with); with more threads it owns a
  * worker pool and submit() only enqueues. Results are bit-identical
  * either way.
+ *
+ * Under an armed fault schedule the service retries injected
+ * failures/timeouts per RunServiceOptions; a request that exhausts
+ * its budget completes with MeasurementFailed, which single-flights
+ * into the cache like any other result (every later submit of the
+ * same key observes the same failure).
  */
 class RunService {
   public:
@@ -120,6 +157,10 @@ class RunService {
      *        0 = hardware concurrency
      */
     explicit RunService(int threads = 0);
+
+    /** Full-options constructor (retry/timeout/backoff knobs). */
+    explicit RunService(const RunServiceOptions& opts);
+
     ~RunService();
 
     RunService(const RunService&) = delete;
@@ -169,6 +210,12 @@ class RunService {
         std::uint64_t executed = 0;
         /** Submits served by the cache or an in-flight run. */
         std::uint64_t cache_hits = 0;
+        /** Injected-fault retries performed (armed schedules only). */
+        std::uint64_t retries = 0;
+        /** Injected straggler delays that hit the deadline. */
+        std::uint64_t timeouts = 0;
+        /** Requests that exhausted every attempt (MeasurementFailed). */
+        std::uint64_t failed = 0;
     };
     Stats stats() const;
 
@@ -177,6 +224,15 @@ class RunService {
 
     void worker_loop();
 
+    /** Execute one attempt loop under the armed fault schedule. */
+    double execute_with_faults(const RunRequest& req,
+                               const std::string& key);
+
+    /** Run the request and publish its result (or error) to @p entry. */
+    void execute_into(const RunRequest& req, const std::string& key,
+                      Handle::Entry& entry);
+
+    RunServiceOptions opts_;
     int threads_ = 1;
     mutable std::mutex mutex_; // guards cache_, queue_, stats, stop_
     std::condition_variable work_cv_;

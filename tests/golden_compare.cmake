@@ -1,0 +1,34 @@
+# Byte-compare a figure bench's stdout against its recorded file in
+# results/. The recorded figures are the project's ground truth: any
+# code change that perturbs them must either be a bug or re-record
+# them deliberately (see EXPERIMENTS.md).
+#
+# Usage:
+#   cmake -DBENCH=<bench binary> -DGOLDEN=<recorded file> \
+#         -P golden_compare.cmake
+#
+# Runs the bench with its default flags (exactly how the recorded
+# files were produced) and FATAL_ERRORs on any byte difference.
+
+if(NOT DEFINED BENCH OR NOT DEFINED GOLDEN)
+    message(FATAL_ERROR "golden_compare.cmake needs -DBENCH and -DGOLDEN")
+endif()
+
+execute_process(
+    COMMAND ${BENCH}
+    OUTPUT_VARIABLE got
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} exited with ${rc}")
+endif()
+
+file(READ ${GOLDEN} want)
+if(NOT got STREQUAL want)
+    get_filename_component(name ${GOLDEN} NAME_WE)
+    set(dump ${CMAKE_CURRENT_BINARY_DIR}/${name}.got.txt)
+    file(WRITE ${dump} "${got}")
+    message(FATAL_ERROR
+        "${BENCH} output differs from recorded ${GOLDEN}\n"
+        "actual output written to ${dump}\n"
+        "diff ${GOLDEN} ${dump}")
+endif()

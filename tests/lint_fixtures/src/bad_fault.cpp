@@ -1,0 +1,14 @@
+// Fixture: fault-gate violations. Expected:
+//   line 10: direct fault::armed call
+//   line 11: direct fault::probe call
+// The control-plane calls on lines 8 and 14 (arm, injected_count)
+// are fine: only the probe entry points are gated.
+namespace fault { void arm(unsigned long, const char*); bool armed(); int probe(const char*, const char*, unsigned long); unsigned long injected_count(); }
+void hardened_path()
+{
+    fault::arm(7, "run.exec:fail:0.5");
+    if (fault::armed()) {
+        fault::probe("run.exec", "key", 0);
+    }
+    static_cast<void>(fault::injected_count());
+}

@@ -134,6 +134,18 @@ TEST(ImcLintRules, ObsGateOnlyInLibraryCode)
     EXPECT_TRUE(in_tests.empty());
 }
 
+TEST(ImcLintRules, FaultGateOnlyInLibraryCode)
+{
+    const std::string content = fixture("src/bad_fault.cpp");
+    const auto in_src = lint_content("src/bad_fault.cpp", content);
+    EXPECT_EQ(findings(in_src),
+              (Want{{"fault-gate", 10}, {"fault-gate", 11}}));
+    // Tests and the fault implementation exercise the API directly.
+    EXPECT_TRUE(lint_content("tests/bad_fault.cpp", content).empty());
+    EXPECT_TRUE(
+        lint_content("src/common/fault.cpp", content).empty());
+}
+
 TEST(ImcLintSuppression, JustifiedSilencesUnjustifiedDoesNot)
 {
     const auto diags = lint_content("src/suppressed.cpp",
@@ -182,7 +194,8 @@ TEST(ImcLintMeta, EveryEmittedRuleIsDocumented)
           "src/bad_parse.cpp", "src/bad_printf.cpp",
           "src/bad_new_delete.cpp", "src/bad_config_error.cpp",
           "src/bad_guard.hpp", "src/bad_include_order.cpp",
-          "src/bad_obs.cpp", "src/suppressed.cpp"}) {
+          "src/bad_obs.cpp", "src/bad_fault.cpp",
+          "src/suppressed.cpp"}) {
         for (const Diagnostic& d : lint_content(f, fixture(f)))
             EXPECT_EQ(desc.count(d.rule), 1u)
                 << "undocumented rule " << d.rule;

@@ -8,8 +8,11 @@
 
 #include <cstdio>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "core/serialize.hpp"
 
 using namespace imc;
@@ -240,4 +243,174 @@ TEST(Serialize, PolicyNamesRoundTrip)
     for (const auto policy : all_policies())
         EXPECT_EQ(policy_from_string(to_string(policy)), policy);
     EXPECT_THROW(policy_from_string("NOT A POLICY"), ConfigError);
+}
+
+// ---------------------------------------------------------------------
+// Seeded fuzz: randomized valid models must round-trip exactly, and
+// randomly mutated/truncated streams must either parse to a
+// self-consistent model or raise ConfigError — never crash, never
+// silently accept junk. All randomness is Rng-seeded, so a failure
+// reproduces.
+// ---------------------------------------------------------------------
+
+namespace {
+
+InterferenceModel
+random_model(Rng& rng, int tag)
+{
+    const int n = static_cast<int>(rng.uniform_int(1, 6));
+    const int m = static_cast<int>(rng.uniform_int(1, 5));
+    std::vector<double> pressures;
+    double p = rng.uniform(0.1, 2.0);
+    for (int i = 0; i < n; ++i) {
+        pressures.push_back(p);
+        p += rng.uniform(0.1, 3.0);
+    }
+    std::vector<std::vector<double>> values;
+    for (int i = 0; i < n; ++i) {
+        std::vector<double> row{1.0};
+        for (int j = 0; j < m; ++j)
+            row.push_back(rng.uniform(0.05, 10.0));
+        values.push_back(std::move(row));
+    }
+    const auto policies = all_policies();
+    const auto policy = policies[static_cast<std::size_t>(
+        rng.uniform_index(policies.size()))];
+    return InterferenceModel(
+        "Fz." + std::to_string(tag),
+        SensitivityMatrix(std::move(values), std::move(pressures)),
+        policy, rng.uniform(0.0, 20.0));
+}
+
+/** load must yield the exact model (doubles compared by bit). */
+void
+expect_roundtrip_exact(const InterferenceModel& original)
+{
+    std::stringstream buffer;
+    save_model(buffer, original);
+    const auto restored = load_model(buffer);
+    ASSERT_EQ(restored.app(), original.app());
+    ASSERT_EQ(restored.policy(), original.policy());
+    ASSERT_EQ(restored.bubble_score(), original.bubble_score());
+    ASSERT_EQ(restored.matrix().pressures(),
+              original.matrix().pressures());
+    ASSERT_EQ(restored.matrix().values(), original.matrix().values());
+    // A second trip through the text form is byte-stable.
+    std::stringstream again;
+    save_model(again, restored);
+    ASSERT_EQ(again.str(), buffer.str());
+}
+
+} // namespace
+
+TEST(SerializeFuzz, RandomValidModelsRoundTripExactly)
+{
+    Rng rng(2026);
+    for (int tag = 0; tag < 200; ++tag) {
+        SCOPED_TRACE(tag);
+        expect_roundtrip_exact(random_model(rng, tag));
+    }
+}
+
+TEST(SerializeFuzz, MutatedStreamsRejectOrStaySelfConsistent)
+{
+    Rng rng(4242);
+    std::stringstream buffer;
+    save_model(buffer, random_model(rng, 0));
+    const std::string baseline = buffer.str();
+
+    int rejected = 0, accepted = 0;
+    for (int round = 0; round < 600; ++round) {
+        SCOPED_TRACE(round);
+        std::string text = baseline;
+        const int flips = static_cast<int>(rng.uniform_int(1, 3));
+        for (int f = 0; f < flips; ++f) {
+            const auto pos = static_cast<std::size_t>(
+                rng.uniform_index(text.size()));
+            text[pos] = static_cast<char>(rng.uniform_int(32, 126));
+        }
+        std::stringstream mutated(text);
+        try {
+            const auto model = load_model(mutated);
+            // A benign mutation (comment, app name, a digit) may
+            // still parse; whatever parsed must itself round-trip.
+            expect_roundtrip_exact(model);
+            ++accepted;
+        } catch (const ConfigError&) {
+            ++rejected; // clean structured rejection, never a crash
+        }
+    }
+    // The corpus must exercise both outcomes to mean anything.
+    EXPECT_GT(rejected, 0);
+    EXPECT_GT(accepted, 0);
+}
+
+TEST(SerializeFuzz, TruncatedStreamsRejectOrStaySelfConsistent)
+{
+    Rng rng(1717);
+    std::stringstream buffer;
+    save_model(buffer, random_model(rng, 1));
+    const std::string baseline = buffer.str();
+
+    for (std::size_t cut = 0; cut < baseline.size(); ++cut) {
+        SCOPED_TRACE(cut);
+        std::stringstream truncated(baseline.substr(0, cut));
+        try {
+            // Cuts inside a trailing number can still parse (the
+            // shorter literal is a valid value); anything else must
+            // throw. Either way: self-consistent or ConfigError.
+            expect_roundtrip_exact(load_model(truncated));
+        } catch (const ConfigError&) {
+        }
+    }
+    // A cut strictly before the matrix can never parse.
+    const auto first_row = baseline.find("row 1");
+    ASSERT_NE(first_row, std::string::npos);
+    std::stringstream headless(baseline.substr(0, first_row));
+    EXPECT_THROW(load_model(headless), ConfigError);
+}
+
+// Regressions from the fuzz corpus: non-finite numbers parsed by
+// strtod ("inf", "nan") used to pass the positivity checks — an
+// infinite last pressure or bubble score loaded "successfully" and
+// poisoned every later prediction.
+TEST(SerializeFuzz, NonFiniteScoreRejected)
+{
+    for (const char* bad : {"inf", "nan", "-inf"}) {
+        std::stringstream full;
+        save_model(full, sample_model());
+        std::string text = full.str();
+        const auto pos = text.find("score ");
+        ASSERT_NE(pos, std::string::npos);
+        const auto eol = text.find('\n', pos);
+        text.replace(pos, eol - pos, std::string("score ") + bad);
+        std::stringstream corrupted(text);
+        EXPECT_THROW(load_model(corrupted), ConfigError) << bad;
+    }
+}
+
+TEST(SerializeFuzz, NonFinitePressureRejected)
+{
+    std::stringstream full;
+    save_model(full, sample_model());
+    std::string text = full.str();
+    const auto pos = text.find("pressures ");
+    ASSERT_NE(pos, std::string::npos);
+    const auto eol = text.find('\n', pos);
+    text.replace(pos, eol - pos, "pressures 0.5 3 inf");
+    std::stringstream corrupted(text);
+    EXPECT_THROW(load_model(corrupted), ConfigError);
+}
+
+TEST(SerializeFuzz, NonFiniteRowValueRejected)
+{
+    std::stringstream full;
+    save_model(full, sample_model());
+    std::string text = full.str();
+    const auto pos = text.find("row 2");
+    ASSERT_NE(pos, std::string::npos);
+    const auto eol = text.find('\n', pos);
+    text.replace(pos, eol - pos, "row 2 1 nan 1.42");
+    std::stringstream corrupted(text);
+    EXPECT_THROW(load_model(corrupted), ConfigError);
 }

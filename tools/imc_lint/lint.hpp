@@ -24,6 +24,9 @@
  *                            "project" — no interleaving
  *  - obs-gate                obs recording only via IMC_OBS_* macros
  *                            (keeps IMC_OBS_DISABLED zero-cost)
+ *  - fault-gate              fault probes only via IMC_FAULT_*
+ *                            macros (keeps IMC_FAULT_DISABLED
+ *                            zero-cost)
  *  - lint-suppression        suppressions must parse, name a known
  *                            rule, and carry a justification
  *

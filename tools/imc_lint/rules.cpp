@@ -437,6 +437,31 @@ rule_obs_gate(const FileContext& ctx, std::vector<Diagnostic>& out)
     }
 }
 
+void
+rule_fault_gate(const FileContext& ctx, std::vector<Diagnostic>& out)
+{
+    // The fault implementation itself is the one place allowed to
+    // spell the probe entry points out (it defines the macros);
+    // control-plane calls (arm/disarm/Session/injected_count) are
+    // not probes and stay un-gated.
+    if (ctx.path.rfind("src/common/fault.", 0) == 0)
+        return;
+    static const std::set<std::string> kGated = {"armed", "probe"};
+    const Tokens& toks = ctx.lex.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (is_ident(toks[i], "fault") && toks[i + 1].text == "::" &&
+            toks[i + 2].kind == TokKind::Ident &&
+            kGated.count(toks[i + 2].text) > 0) {
+            out.push_back(
+                {"fault-gate", ctx.path, toks[i].line,
+                 "direct call to fault::" + toks[i + 2].text +
+                     "; use IMC_FAULT_ARMED()/IMC_FAULT_PROBE() so "
+                     "IMC_FAULT_DISABLED builds fold every probe to "
+                     "a constant"});
+        }
+    }
+}
+
 } // namespace
 
 std::set<std::string>
@@ -466,6 +491,8 @@ rule_descriptions()
          "own header, then <system>, then \"project\" includes"},
         {"obs-gate",
          "obs recording only via the gated IMC_OBS_* macros"},
+        {"fault-gate",
+         "fault probes only via the gated IMC_FAULT_* macros"},
         {"lint-suppression",
          "suppressions must name a known rule and be justified"},
     };
@@ -492,8 +519,10 @@ run_rules(const FileContext& ctx, const Options& opts)
     rule_config_error_context(ctx, out);
     rule_header_guard(ctx, out);
     rule_include_order(ctx, out);
-    if (lib)
+    if (lib) {
         rule_obs_gate(ctx, out);
+        rule_fault_gate(ctx, out);
+    }
     if (!opts.disabled_rules.empty()) {
         out.erase(std::remove_if(
                       out.begin(), out.end(),
