@@ -20,6 +20,15 @@ ClusterSpec::private8()
 }
 
 ClusterSpec
+ClusterSpec::scaled(int nodes)
+{
+    ClusterSpec spec = private8();
+    spec.num_nodes = nodes;
+    spec.name = "scaled" + std::to_string(nodes);
+    return spec;
+}
+
+ClusterSpec
 ClusterSpec::ec2_32()
 {
     ClusterSpec spec;

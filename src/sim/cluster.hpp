@@ -44,6 +44,14 @@ struct ClusterSpec {
 
     /** The paper's 32-VM Amazon EC2 configuration (Section 6). */
     static ClusterSpec ec2_32();
+
+    /**
+     * A private8-shaped cluster scaled to @p nodes — the profile the
+     * scale benches and tests (bench/micro_scale, tests/test_scale)
+     * run 100/1k/10k-node clusters on. Per-node capacities are the
+     * private cluster's; only the node count changes.
+     */
+    static ClusterSpec scaled(int nodes);
 };
 
 } // namespace imc::sim

@@ -15,58 +15,84 @@ constexpr double kWeightEpsilon = 1e-3;
 
 } // namespace
 
-std::vector<ContentionResult>
-solve_contention(const NodeResources& node,
-                 const std::vector<TenantDemand>& tenants)
+void
+ContentionSolver::clear()
+{
+    gen_mb_.clear();
+    need_mb_.clear();
+    bw_gbps_.clear();
+    mem_intensity_.clear();
+    cache_gamma_.clear();
+    knee_.clear();
+}
+
+std::size_t
+ContentionSolver::push(const TenantDemand& t)
+{
+    require(t.gen_mb >= 0.0 && t.need_mb >= 0.0 && t.bw_gbps >= 0.0,
+            "solve_contention: demands must be non-negative");
+    require(t.mem_intensity >= 0.0 && t.mem_intensity <= 1.0,
+            "solve_contention: mem_intensity must be in [0, 1]");
+    require(t.knee_sharpness >= 1.0,
+            "solve_contention: knee_sharpness must be >= 1");
+    const std::size_t slot = gen_mb_.size();
+    gen_mb_.push_back(t.gen_mb);
+    need_mb_.push_back(t.need_mb);
+    bw_gbps_.push_back(t.bw_gbps);
+    mem_intensity_.push_back(t.mem_intensity);
+    cache_gamma_.push_back(t.cache_gamma);
+    knee_.push_back(t.knee_sharpness);
+    return slot;
+}
+
+void
+ContentionSolver::solve(const NodeResources& node)
 {
     require(node.llc_mb > 0.0 && node.bw_gbps > 0.0,
             "solve_contention: node capacities must be positive");
 
-    std::vector<ContentionResult> out(tenants.size());
-    if (tenants.empty())
-        return out;
+    const std::size_t n = gen_mb_.size();
+    weight_.resize(n);
+    share_.resize(n);
+    inflation_.resize(n);
+    slowdown_.resize(n);
+    if (n == 0)
+        return;
 
     // 1. Cache shares: power-law competition on pollution footprints.
+    //    Summation runs in push order — the same left-to-right order
+    //    the original per-struct loop used, keeping results
+    //    bit-identical to the seed solver.
     double weight_sum = 0.0;
-    std::vector<double> weights(tenants.size());
-    for (std::size_t i = 0; i < tenants.size(); ++i) {
-        const auto& t = tenants[i];
-        require(t.gen_mb >= 0.0 && t.need_mb >= 0.0 && t.bw_gbps >= 0.0,
-                "solve_contention: demands must be non-negative");
-        require(t.mem_intensity >= 0.0 && t.mem_intensity <= 1.0,
-                "solve_contention: mem_intensity must be in [0, 1]");
-        require(t.knee_sharpness >= 1.0,
-                "solve_contention: knee_sharpness must be >= 1");
-        weights[i] =
-            std::pow(t.gen_mb, node.share_alpha) + kWeightEpsilon;
-        weight_sum += weights[i];
+    for (std::size_t i = 0; i < n; ++i) {
+        weight_[i] = std::pow(gen_mb_[i], node.share_alpha) +
+                     kWeightEpsilon;
+        weight_sum += weight_[i];
     }
 
     // 2. Miss inflation and the bandwidth each tenant actually draws.
     double total_bw = 0.0;
-    for (std::size_t i = 0; i < tenants.size(); ++i) {
-        const auto& t = tenants[i];
-        auto& r = out[i];
-        r.cache_share_mb = node.llc_mb * weights[i] / weight_sum;
-        if (t.need_mb > 0.0 && r.cache_share_mb > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+        share_[i] = node.llc_mb * weight_[i] / weight_sum;
+        if (need_mb_[i] > 0.0 && share_[i] > 0.0) {
             // Smooth knee: f = (1 + x^k)^(gamma/k) approaches x^gamma
             // once the working set exceeds the share (x > 1) but
             // already rises gently below it — real caches are not
             // perfectly partitioned, so pressure is felt before the
             // hard capacity cliff. k is the tenant's knee sharpness.
-            const double k = t.knee_sharpness;
-            const double x = t.need_mb / r.cache_share_mb;
-            r.miss_inflation =
-                std::pow(1.0 + std::pow(x, k), t.cache_gamma / k);
+            const double k = knee_[i];
+            const double x = need_mb_[i] / share_[i];
+            inflation_[i] =
+                std::pow(1.0 + std::pow(x, k), cache_gamma_[i] / k);
         } else {
-            r.miss_inflation = 1.0;
+            inflation_[i] = 1.0;
         }
         // Generated traffic is the tenant's nominal demand: suffered
         // miss inflation is deliberately NOT fed back into traffic, so
         // "interference generated" is a stable per-tenant property —
         // the invariant the bubble-score abstraction (Section 2.1)
         // relies on.
-        total_bw += t.bw_gbps;
+        total_bw += bw_gbps_[i];
     }
 
     // 3. Bandwidth oversubscription stretches every memory access.
@@ -74,11 +100,37 @@ solve_contention(const NodeResources& node,
         total_bw > node.bw_gbps ? total_bw / node.bw_gbps : 1.0;
 
     // 4. Mix through memory intensity.
+    for (std::size_t i = 0; i < n; ++i) {
+        const double stall = inflation_[i] * bw_stretch;
+        slowdown_[i] =
+            (1.0 - mem_intensity_[i]) + mem_intensity_[i] * stall;
+    }
+}
+
+std::size_t
+ContentionSolver::approx_bytes() const
+{
+    const std::size_t slots =
+        gen_mb_.capacity() + need_mb_.capacity() + bw_gbps_.capacity() +
+        mem_intensity_.capacity() + cache_gamma_.capacity() +
+        knee_.capacity() + weight_.capacity() + share_.capacity() +
+        inflation_.capacity() + slowdown_.capacity();
+    return slots * sizeof(double);
+}
+
+std::vector<ContentionResult>
+solve_contention(const NodeResources& node,
+                 const std::vector<TenantDemand>& tenants)
+{
+    ContentionSolver solver;
+    for (const auto& t : tenants)
+        solver.push(t);
+    solver.solve(node);
+    std::vector<ContentionResult> out(tenants.size());
     for (std::size_t i = 0; i < tenants.size(); ++i) {
-        const auto& t = tenants[i];
-        auto& r = out[i];
-        const double stall = r.miss_inflation * bw_stretch;
-        r.slowdown = (1.0 - t.mem_intensity) + t.mem_intensity * stall;
+        out[i].slowdown = solver.slowdown(i);
+        out[i].cache_share_mb = solver.cache_share_mb(i);
+        out[i].miss_inflation = solver.miss_inflation(i);
     }
     return out;
 }

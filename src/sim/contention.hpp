@@ -76,10 +76,80 @@ struct ContentionResult {
 };
 
 /**
+ * Reusable struct-of-arrays contention solver — the allocation-free
+ * hot path behind every per-node re-solve.
+ *
+ * The engine re-solves a node on every tenant arrival, departure, or
+ * phase change; at 10k-node scale that is the single hottest loop in
+ * the simulator. This solver keeps each demand component in its own
+ * contiguous array so the three solve passes stream linearly over
+ * memory and vectorize, and it retains its capacity across solves so
+ * a steady-state simulation performs no allocation per re-solve.
+ *
+ * Usage: clear(), push() each co-located tenant's demand in node
+ * order, solve(), then read slowdown(i)/cache_share_mb(i)/
+ * miss_inflation(i) for the i-th pushed tenant. Results are
+ * bit-identical to solve_contention() on the same demand sequence
+ * (which is implemented on top of this class).
+ */
+class ContentionSolver {
+  public:
+    /** Drop the tenant batch; capacity is retained. */
+    void clear();
+
+    /**
+     * Append one tenant's demand to the batch.
+     *
+     * @return the tenant's slot index for the result accessors
+     * @throws ConfigError on out-of-range demand fields
+     */
+    std::size_t push(const TenantDemand& t);
+
+    /** Tenants in the current batch. */
+    std::size_t size() const { return gen_mb_.size(); }
+
+    /**
+     * Solve the batch against one node's capacities. Deterministic:
+     * the same push sequence and node always yield the same results.
+     *
+     * @throws ConfigError on non-positive node capacities
+     */
+    void solve(const NodeResources& node);
+
+    /** Execution-time multiplier of tenant @p i, >= ~1. */
+    double slowdown(std::size_t i) const { return slowdown_[i]; }
+
+    /** LLC share awarded to tenant @p i, MB. */
+    double cache_share_mb(std::size_t i) const { return share_[i]; }
+
+    /** Miss inflation factor of tenant @p i (>= 1 over the knee). */
+    double miss_inflation(std::size_t i) const { return inflation_[i]; }
+
+    /** Approximate heap bytes held across all component arrays. */
+    std::size_t approx_bytes() const;
+
+  private:
+    // Demand components (parallel arrays, one slot per pushed tenant).
+    std::vector<double> gen_mb_;
+    std::vector<double> need_mb_;
+    std::vector<double> bw_gbps_;
+    std::vector<double> mem_intensity_;
+    std::vector<double> cache_gamma_;
+    std::vector<double> knee_;
+    // Solve outputs (parallel to the demand arrays after solve()).
+    std::vector<double> weight_;
+    std::vector<double> share_;
+    std::vector<double> inflation_;
+    std::vector<double> slowdown_;
+};
+
+/**
  * Solve for the slowdown of every tenant sharing a node.
  *
  * Deterministic and stateless: the same demands always yield the same
- * result. An empty tenant list yields an empty result.
+ * result. An empty tenant list yields an empty result. Convenience
+ * wrapper over ContentionSolver (one-shot, allocating); hot loops
+ * should hold a ContentionSolver instead.
  *
  * @param node    the node's capacities
  * @param tenants demands of all co-located tenants

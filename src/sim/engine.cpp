@@ -8,24 +8,40 @@
 
 namespace imc::sim {
 
-Simulation::Simulation(ClusterSpec spec) : spec_(std::move(spec))
+namespace {
+
+std::unique_ptr<EventQueueBase>
+make_queue(EngineMode mode)
+{
+    if (mode == EngineMode::kSeed)
+        return std::make_unique<HeapEventQueue>();
+    return std::make_unique<EventQueue>();
+}
+
+} // namespace
+
+Simulation::Simulation(ClusterSpec spec, SimOptions opts)
+    : spec_(std::move(spec)), opts_(opts), queue_(make_queue(opts.mode))
 {
     require(spec_.num_nodes > 0, "Simulation: cluster needs >= 1 node");
-    crashed_.assign(static_cast<std::size_t>(spec_.num_nodes), 0);
-    node_tenants_.resize(static_cast<std::size_t>(spec_.num_nodes));
+    const auto n = static_cast<std::size_t>(spec_.num_nodes);
+    crashed_.assign(n, 0);
+    node_tenants_.resize(n);
+    node_procs_.resize(n);
+    node_dirty_.assign(n, 0);
 }
 
 EventId
 Simulation::schedule(double dt, Callback cb)
 {
     require(dt >= 0.0, "Simulation::schedule: negative delay");
-    return queue_.schedule_at(now() + dt, std::move(cb));
+    return queue_->schedule_at(now() + dt, std::move(cb));
 }
 
 void
 Simulation::cancel(EventId id)
 {
-    queue_.cancel(id);
+    queue_->cancel(id);
 }
 
 TenantId
@@ -35,8 +51,11 @@ Simulation::add_tenant(NodeId node, const TenantDemand& demand)
             "add_tenant: node index out of range");
     require(!crashed_[static_cast<std::size_t>(node)],
             "add_tenant: node has crashed");
-    const auto id = static_cast<TenantId>(tenants_.size());
-    tenants_.push_back(Tenant{node, demand, 1.0, true});
+    const auto id = static_cast<TenantId>(tenant_node_.size());
+    tenant_node_.push_back(node);
+    tenant_live_.push_back(1);
+    tenant_slowdown_.push_back(1.0);
+    tenant_demand_.push_back(demand);
     node_tenants_[static_cast<std::size_t>(node)].push_back(id);
     refresh_node(node);
     return id;
@@ -45,39 +64,54 @@ Simulation::add_tenant(NodeId node, const TenantDemand& demand)
 void
 Simulation::remove_tenant(TenantId t)
 {
-    auto& tenant = tenants_.at(static_cast<std::size_t>(t));
-    invariant(tenant.live, "remove_tenant: tenant already removed");
-    for (std::size_t pid = 0; pid < procs_.size(); ++pid) {
-        invariant(procs_[pid].tenant != t || !procs_[pid].busy,
+    const auto ti = static_cast<std::size_t>(t);
+    require(ti < tenant_node_.size(), "remove_tenant: no such tenant");
+    invariant(tenant_live_[ti], "remove_tenant: tenant already removed");
+    const NodeId node = tenant_node_[ti];
+    for (const ProcId pid : node_procs_[static_cast<std::size_t>(node)]) {
+        const auto pi = static_cast<std::size_t>(pid);
+        invariant(proc_tenant_[pi] != t || !proc_busy_[pi],
                   "remove_tenant: tenant still has a busy proc");
     }
-    auto& list = node_tenants_[static_cast<std::size_t>(tenant.node)];
+    auto& list = node_tenants_[static_cast<std::size_t>(node)];
     list.erase(std::find(list.begin(), list.end(), t));
-    tenant.live = false;
-    refresh_node(tenant.node);
+    tenant_live_[ti] = 0;
+    refresh_node(node);
 }
 
 void
 Simulation::set_demand(TenantId t, const TenantDemand& demand)
 {
-    auto& tenant = tenants_.at(static_cast<std::size_t>(t));
-    invariant(tenant.live, "set_demand: tenant removed");
-    tenant.demand = demand;
-    refresh_node(tenant.node);
+    const auto ti = static_cast<std::size_t>(t);
+    require(ti < tenant_node_.size(), "set_demand: no such tenant");
+    invariant(tenant_live_[ti], "set_demand: tenant removed");
+    tenant_demand_[ti] = demand;
+    refresh_node(tenant_node_[ti]);
 }
 
 double
 Simulation::tenant_slowdown(TenantId t) const
 {
-    const auto& tenant = tenants_.at(static_cast<std::size_t>(t));
-    invariant(tenant.live, "tenant_slowdown: tenant removed");
-    return tenant.slowdown;
+    const auto ti = static_cast<std::size_t>(t);
+    require(ti < tenant_node_.size(), "tenant_slowdown: no such tenant");
+    invariant(tenant_live_[ti], "tenant_slowdown: tenant removed");
+    return tenant_slowdown_[ti];
+}
+
+const TenantDemand&
+Simulation::tenant_demand(TenantId t) const
+{
+    const auto ti = static_cast<std::size_t>(t);
+    require(ti < tenant_node_.size(), "tenant_demand: no such tenant");
+    return tenant_demand_[ti];
 }
 
 NodeId
 Simulation::node_of(TenantId t) const
 {
-    return tenants_.at(static_cast<std::size_t>(t)).node;
+    const auto ti = static_cast<std::size_t>(t);
+    require(ti < tenant_node_.size(), "node_of: no such tenant");
+    return tenant_node_[ti];
 }
 
 int
@@ -90,13 +124,21 @@ Simulation::tenants_on(NodeId node) const
 ProcId
 Simulation::add_proc(TenantId t)
 {
-    const auto& tenant = tenants_.at(static_cast<std::size_t>(t));
-    invariant(tenant.live, "add_proc: tenant removed");
-    const auto id = static_cast<ProcId>(procs_.size());
-    Proc p;
-    p.tenant = t;
-    p.rate = 1.0 / tenant.slowdown;
-    procs_.push_back(std::move(p));
+    const auto ti = static_cast<std::size_t>(t);
+    require(ti < tenant_node_.size(), "add_proc: no such tenant");
+    invariant(tenant_live_[ti], "add_proc: tenant removed");
+    const auto id = static_cast<ProcId>(proc_tenant_.size());
+    proc_tenant_.push_back(t);
+    proc_busy_.push_back(0);
+    proc_remaining_.push_back(0.0);
+    proc_rate_.push_back(1.0 / tenant_slowdown_[ti]);
+    proc_last_update_.push_back(0.0);
+    proc_event_.push_back(0);
+    proc_done_.emplace_back();
+    // Appended in ascending ProcId order: the node list then matches
+    // the seed engine's global ascending-pid scan order exactly, so
+    // reschedules produce identical event sequences.
+    node_procs_[static_cast<std::size_t>(tenant_node_[ti])].push_back(id);
     return id;
 }
 
@@ -104,15 +146,17 @@ void
 Simulation::compute(ProcId pid, double work, Callback done)
 {
     require(work >= 0.0, "compute: negative work");
-    auto& p = procs_.at(static_cast<std::size_t>(pid));
-    invariant(!p.busy, "compute: proc already busy");
-    invariant(tenants_[static_cast<std::size_t>(p.tenant)].live,
+    const auto pi = static_cast<std::size_t>(pid);
+    require(pi < proc_tenant_.size(), "compute: no such proc");
+    invariant(!proc_busy_[pi], "compute: proc already busy");
+    const auto ti = static_cast<std::size_t>(proc_tenant_[pi]);
+    invariant(tenant_live_[ti],
               "compute: proc's tenant was removed or crashed");
-    p.busy = true;
-    p.remaining = work;
-    p.rate = 1.0 / tenants_[static_cast<std::size_t>(p.tenant)].slowdown;
-    p.last_update = now();
-    p.done = std::move(done);
+    proc_busy_[pi] = 1;
+    proc_remaining_[pi] = work;
+    proc_rate_[pi] = 1.0 / tenant_slowdown_[ti];
+    proc_last_update_[pi] = now();
+    proc_done_[pi] = std::move(done);
     ++stats_.computes;
     schedule_completion(pid);
 }
@@ -120,7 +164,39 @@ Simulation::compute(ProcId pid, double work, Callback done)
 bool
 Simulation::proc_busy(ProcId pid) const
 {
-    return procs_.at(static_cast<std::size_t>(pid)).busy;
+    const auto pi = static_cast<std::size_t>(pid);
+    require(pi < proc_tenant_.size(), "proc_busy: no such proc");
+    return proc_busy_[pi] != 0;
+}
+
+void
+Simulation::begin_resolve_batch()
+{
+    ++batch_depth_;
+}
+
+void
+Simulation::end_resolve_batch()
+{
+    invariant(batch_depth_ > 0,
+              "end_resolve_batch: no batch is open");
+    if (--batch_depth_ > 0)
+        return;
+    // Ascending node order: deterministic regardless of the mutation
+    // order that dirtied the set.
+    std::sort(dirty_nodes_.begin(), dirty_nodes_.end());
+    for (const NodeId node : dirty_nodes_) {
+        node_dirty_[static_cast<std::size_t>(node)] = 0;
+        resolve_node(node);
+    }
+    dirty_nodes_.clear();
+}
+
+void
+Simulation::refresh_all_nodes()
+{
+    for (NodeId node = 0; node < spec_.num_nodes; ++node)
+        resolve_node(node);
 }
 
 void
@@ -128,32 +204,31 @@ Simulation::crash_node(NodeId node)
 {
     require(node >= 0 && node < spec_.num_nodes,
             "crash_node: node index out of range");
-    if (crashed_[static_cast<std::size_t>(node)])
+    const auto ni = static_cast<std::size_t>(node);
+    if (crashed_[ni])
         return;
-    crashed_[static_cast<std::size_t>(node)] = 1;
+    crashed_[ni] = 1;
     ++stats_.node_crashes;
     IMC_OBS_COUNT("sim.node_crashes");
 
     // Kill in-flight work first: settle (for consistent accounting),
     // cancel the completion, and drop the done callback — the work is
     // lost with the node.
-    for (std::size_t pid = 0; pid < procs_.size(); ++pid) {
-        auto& p = procs_[pid];
-        if (!p.busy)
+    for (const ProcId pid : node_procs_[ni]) {
+        const auto pi = static_cast<std::size_t>(pid);
+        if (!proc_busy_[pi])
             continue;
-        if (tenants_[static_cast<std::size_t>(p.tenant)].node != node)
-            continue;
-        settle(p);
-        queue_.cancel(p.event);
-        p.busy = false;
-        p.remaining = 0.0;
-        p.done = nullptr;
+        settle(pi);
+        queue_->cancel(proc_event_[pi]);
+        proc_busy_[pi] = 0;
+        proc_remaining_[pi] = 0.0;
+        proc_done_[pi] = nullptr;
     }
 
     // Then drop the tenants and re-solve the (now empty) node.
-    auto& list = node_tenants_[static_cast<std::size_t>(node)];
+    auto& list = node_tenants_[ni];
     for (const TenantId t : list)
-        tenants_[static_cast<std::size_t>(t)].live = false;
+        tenant_live_[static_cast<std::size_t>(t)] = 0;
     list.clear();
     refresh_node(node);
 }
@@ -169,18 +244,18 @@ Simulation::node_crashed(NodeId node) const
 void
 Simulation::run(std::uint64_t max_events)
 {
-    const std::uint64_t start = queue_.executed();
+    const std::uint64_t start = queue_->executed();
     const SimStats stats_before = stats_;
     (void)stats_before; // consumed only by the obs block below
-    while (queue_.pop_and_run()) {
-        invariant(queue_.executed() - start <= max_events,
+    while (queue_->pop_and_run()) {
+        invariant(queue_->executed() - start <= max_events,
                   "Simulation::run: event budget exceeded (runaway?)");
     }
     // Aggregate deltas once per run() — the per-event loop above stays
     // untouched so the hot path costs nothing when obs is off.
     if (IMC_OBS_ENABLED()) {
         IMC_OBS_COUNT("sim.runs");
-        IMC_OBS_COUNT("sim.events", queue_.executed() - start);
+        IMC_OBS_COUNT("sim.events", queue_->executed() - start);
         IMC_OBS_COUNT("sim.contention_solves",
                    static_cast<std::uint64_t>(
                        stats_.contention_solves -
@@ -198,72 +273,164 @@ Simulation::run(std::uint64_t max_events)
 bool
 Simulation::step()
 {
-    return queue_.pop_and_run();
+    return queue_->pop_and_run();
 }
 
 void
 Simulation::refresh_node(NodeId node)
 {
-    auto& ids = node_tenants_[static_cast<std::size_t>(node)];
-    std::vector<TenantDemand> demands;
-    demands.reserve(ids.size());
-    for (TenantId t : ids)
-        demands.push_back(tenants_[static_cast<std::size_t>(t)].demand);
+    if (batch_depth_ > 0) {
+        const auto ni = static_cast<std::size_t>(node);
+        if (!node_dirty_[ni]) {
+            node_dirty_[ni] = 1;
+            dirty_nodes_.push_back(node);
+        } else {
+            ++stats_.batched_resolves; // a coalesced re-solve
+        }
+        return;
+    }
+    resolve_node(node);
+}
+
+void
+Simulation::resolve_node(NodeId node)
+{
+    if (opts_.mode == EngineMode::kSeed) {
+        resolve_node_seed(node);
+        return;
+    }
+    resolve_node_scaled(node);
+}
+
+void
+Simulation::resolve_node_scaled(NodeId node)
+{
+    const auto ni = static_cast<std::size_t>(node);
+    const auto& ids = node_tenants_[ni];
+
+    solver_.clear();
+    for (const TenantId t : ids)
+        solver_.push(tenant_demand_[static_cast<std::size_t>(t)]);
 
     ++stats_.contention_solves;
-    const auto results = solve_contention(spec_.node, demands);
+    solver_.solve(spec_.node);
     for (std::size_t i = 0; i < ids.size(); ++i) {
-        tenants_[static_cast<std::size_t>(ids[i])].slowdown =
-            results[i].slowdown;
+        tenant_slowdown_[static_cast<std::size_t>(ids[i])] =
+            solver_.slowdown(i);
     }
 
-    // Settle and reschedule every busy proc whose tenant lives here.
-    for (std::size_t pid = 0; pid < procs_.size(); ++pid) {
-        auto& p = procs_[pid];
-        if (!p.busy)
+    // Settle and reschedule the node's busy procs — and only the
+    // node's: the per-node index list replaces the seed engine's scan
+    // of every proc in the cluster.
+    for (const ProcId pid : node_procs_[ni]) {
+        const auto pi = static_cast<std::size_t>(pid);
+        if (!proc_busy_[pi])
             continue;
-        const auto& tenant = tenants_[static_cast<std::size_t>(p.tenant)];
-        if (tenant.node != node)
-            continue;
-        settle(p);
-        p.rate = 1.0 / tenant.slowdown;
-        queue_.cancel(p.event);
-        ++stats_.proc_reschedules;
-        schedule_completion(static_cast<ProcId>(pid));
+        reschedule_proc(
+            pi,
+            tenant_slowdown_[static_cast<std::size_t>(proc_tenant_[pi])]);
     }
 }
 
 void
-Simulation::settle(Proc& p)
+Simulation::resolve_node_seed(NodeId node)
 {
-    const double elapsed = now() - p.last_update;
-    p.remaining = std::max(0.0, p.remaining - elapsed * p.rate);
-    p.last_update = now();
+    const auto ni = static_cast<std::size_t>(node);
+    const auto& ids = node_tenants_[ni];
+    std::vector<TenantDemand> demands;
+    demands.reserve(ids.size());
+    for (const TenantId t : ids)
+        demands.push_back(tenant_demand_[static_cast<std::size_t>(t)]);
+
+    ++stats_.contention_solves;
+    const auto results = solve_contention(spec_.node, demands);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        tenant_slowdown_[static_cast<std::size_t>(ids[i])] =
+            results[i].slowdown;
+    }
+
+    // The seed hot path: scan every proc in the cluster for the few
+    // that live on this node — O(cluster) per re-solve.
+    for (std::size_t pi = 0; pi < proc_tenant_.size(); ++pi) {
+        if (!proc_busy_[pi])
+            continue;
+        const auto ti = static_cast<std::size_t>(proc_tenant_[pi]);
+        if (tenant_node_[ti] != node)
+            continue;
+        reschedule_proc(pi, tenant_slowdown_[ti]);
+    }
+}
+
+void
+Simulation::settle(std::size_t pid)
+{
+    const double elapsed = now() - proc_last_update_[pid];
+    proc_remaining_[pid] = std::max(
+        0.0, proc_remaining_[pid] - elapsed * proc_rate_[pid]);
+    proc_last_update_[pid] = now();
+}
+
+void
+Simulation::reschedule_proc(std::size_t pid, double slowdown)
+{
+    settle(pid);
+    proc_rate_[pid] = 1.0 / slowdown;
+    queue_->cancel(proc_event_[pid]);
+    ++stats_.proc_reschedules;
+    schedule_completion(static_cast<ProcId>(pid));
 }
 
 void
 Simulation::schedule_completion(ProcId pid)
 {
-    auto& p = procs_[static_cast<std::size_t>(pid)];
-    invariant(p.rate > 0.0, "schedule_completion: nonpositive rate");
-    const double dt = p.remaining / p.rate;
-    p.event = schedule(dt, [this, pid] { complete(pid); });
+    const auto pi = static_cast<std::size_t>(pid);
+    invariant(proc_rate_[pi] > 0.0,
+              "schedule_completion: nonpositive rate");
+    const double dt = proc_remaining_[pi] / proc_rate_[pi];
+    proc_event_[pi] = schedule(dt, [this, pid] { complete(pid); });
 }
 
 void
 Simulation::complete(ProcId pid)
 {
-    auto& p = procs_[static_cast<std::size_t>(pid)];
-    invariant(p.busy, "complete: proc not busy");
-    settle(p);
-    invariant(p.remaining <= 1e-9,
+    const auto pi = static_cast<std::size_t>(pid);
+    invariant(proc_busy_[pi], "complete: proc not busy");
+    settle(pi);
+    invariant(proc_remaining_[pi] <= 1e-9,
               "complete: fired with work remaining");
-    p.busy = false;
-    p.remaining = 0.0;
-    Callback done = std::move(p.done);
-    p.done = nullptr;
+    proc_busy_[pi] = 0;
+    proc_remaining_[pi] = 0.0;
+    Callback done = std::move(proc_done_[pi]);
+    proc_done_[pi] = nullptr;
     if (done)
         done();
+}
+
+std::size_t
+Simulation::approx_bytes() const
+{
+    std::size_t bytes = queue_->approx_bytes() + solver_.approx_bytes();
+    bytes += crashed_.capacity() * sizeof(char);
+    bytes += node_dirty_.capacity() * sizeof(char);
+    bytes += dirty_nodes_.capacity() * sizeof(NodeId);
+    bytes += node_tenants_.capacity() * sizeof(node_tenants_[0]);
+    for (const auto& v : node_tenants_)
+        bytes += v.capacity() * sizeof(TenantId);
+    bytes += node_procs_.capacity() * sizeof(node_procs_[0]);
+    for (const auto& v : node_procs_)
+        bytes += v.capacity() * sizeof(ProcId);
+    bytes += tenant_node_.capacity() * sizeof(NodeId);
+    bytes += tenant_live_.capacity() * sizeof(char);
+    bytes += tenant_slowdown_.capacity() * sizeof(double);
+    bytes += tenant_demand_.capacity() * sizeof(TenantDemand);
+    bytes += proc_tenant_.capacity() * sizeof(TenantId);
+    bytes += proc_busy_.capacity() * sizeof(char);
+    bytes += proc_remaining_.capacity() * sizeof(double);
+    bytes += proc_rate_.capacity() * sizeof(double);
+    bytes += proc_last_update_.capacity() * sizeof(double);
+    bytes += proc_event_.capacity() * sizeof(EventId);
+    bytes += proc_done_.capacity() * sizeof(Callback);
+    return bytes;
 }
 
 } // namespace imc::sim

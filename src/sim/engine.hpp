@@ -16,9 +16,22 @@
  *
  * Work is measured in *work units*: one unit takes one simulated
  * second at slowdown 1.0.
+ *
+ * Scale architecture (see DESIGN.md §7): the engine's hot path is
+ * node-local. Tenant and proc state live in struct-of-arrays so a
+ * re-solve streams over contiguous memory; per-node tenant and proc
+ * index lists make each re-solve O(node population) instead of
+ * O(cluster); the calendar event queue keeps push/pop amortized O(1);
+ * and a resolve *batch* (ResolveBatch) coalesces many mutations into
+ * one re-solve per dirtied node. EngineMode::kSeed preserves the
+ * original architecture (binary-heap queue, full proc scan per
+ * re-solve, allocating solver) as the equivalence oracle and the
+ * baseline bench/micro_scale measures against — both modes are
+ * event-for-event identical (tests/test_scale.cpp).
  */
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/cluster.hpp"
@@ -38,6 +51,25 @@ struct SimStats {
     std::uint64_t computes = 0;
     /** crash_node() events applied. */
     std::uint64_t node_crashes = 0;
+    /** Mutations whose re-solve a batch coalesced away. */
+    std::uint64_t batched_resolves = 0;
+};
+
+/** Which engine architecture a Simulation runs. */
+enum class EngineMode {
+    /** Calendar queue + SoA state + node-local re-solves (default). */
+    kScaled,
+    /**
+     * The seed architecture: binary-heap queue, a full scan of every
+     * proc per re-solve, and a fresh allocation per solve. Kept as
+     * the equivalence oracle and the micro_scale baseline.
+     */
+    kSeed,
+};
+
+/** Engine construction knobs. */
+struct SimOptions {
+    EngineMode mode = EngineMode::kScaled;
 };
 
 /**
@@ -48,7 +80,7 @@ struct SimStats {
 class Simulation {
   public:
     /** Build an idle cluster from a spec. */
-    explicit Simulation(ClusterSpec spec);
+    explicit Simulation(ClusterSpec spec, SimOptions opts = {});
 
     Simulation(const Simulation&) = delete;
     Simulation& operator=(const Simulation&) = delete;
@@ -56,8 +88,11 @@ class Simulation {
     /** The cluster configuration this simulation runs. */
     const ClusterSpec& spec() const { return spec_; }
 
+    /** The engine architecture this simulation runs. */
+    EngineMode mode() const { return opts_.mode; }
+
     /** Current simulation time in seconds. */
-    double now() const { return queue_.now(); }
+    double now() const { return queue_->now(); }
 
     /**
      * Schedule a callback after a relative delay.
@@ -88,6 +123,9 @@ class Simulation {
     /** Current execution-time multiplier of a tenant. */
     double tenant_slowdown(TenantId t) const;
 
+    /** The demand a tenant currently exerts (live or not). */
+    const TenantDemand& tenant_demand(TenantId t) const;
+
     /** Node a tenant lives on. */
     NodeId node_of(TenantId t) const;
 
@@ -112,6 +150,36 @@ class Simulation {
 
     /** True while the proc has an unfinished compute in flight. */
     bool proc_busy(ProcId p) const;
+
+    // --- Batched re-solves ---------------------------------------------
+
+    /**
+     * Open a resolve batch: until the matching end_resolve_batch(),
+     * tenant mutations only mark their node dirty, and the dirty set
+     * is re-solved once — in ascending node order — when the
+     * outermost batch closes. An event that touches many tenants of
+     * the same node then costs one re-solve instead of one per
+     * mutation. Batches nest.
+     *
+     * While a batch is open, tenant_slowdown() of a dirtied node is
+     * stale (the pre-mutation value); compute() reads the rate at
+     * call time, so computes issued inside a batch on a dirtied node
+     * should follow end_resolve_batch(). Final post-batch state is
+     * identical to eager per-mutation re-solves (tests/test_scale.cpp
+     * property-checks this).
+     */
+    void begin_resolve_batch();
+
+    /** Close a batch; the outermost close re-solves all dirty nodes. */
+    void end_resolve_batch();
+
+    /**
+     * Re-solve every node from scratch (full re-solve). A debug/test
+     * hook: after any sequence of incremental re-solves this must not
+     * change any tenant's slowdown — the dirty-set invariant
+     * tests/test_scale.cpp locks in.
+     */
+    void refresh_all_nodes();
 
     // --- Faults --------------------------------------------------------
 
@@ -144,34 +212,36 @@ class Simulation {
     bool step();
 
     /** Total events executed so far. */
-    std::uint64_t events_executed() const { return queue_.executed(); }
+    std::uint64_t events_executed() const { return queue_->executed(); }
 
     /** Engine activity counters. */
     const SimStats& stats() const { return stats_; }
 
+    /**
+     * Approximate heap bytes of engine state (queue, tenant/proc
+     * arrays, node indices, solver scratch). Reported per node by
+     * bench/micro_scale as the bytes/node scale metric.
+     */
+    std::size_t approx_bytes() const;
+
   private:
-    struct Tenant {
-        NodeId node = -1;
-        TenantDemand demand;
-        double slowdown = 1.0;
-        bool live = false;
-    };
-
-    struct Proc {
-        TenantId tenant = -1;
-        bool busy = false;
-        double remaining = 0.0;   // work units left
-        double rate = 1.0;        // work units per second
-        double last_update = 0.0; // when remaining was last settled
-        EventId event = 0;        // pending completion event
-        Callback done;
-    };
-
-    /** Re-solve contention on a node and reschedule affected procs. */
+    /** Re-solve a node now, or mark it dirty inside a batch. */
     void refresh_node(NodeId node);
 
+    /** The node-local re-solve (scaled mode). */
+    void resolve_node_scaled(NodeId node);
+
+    /** The seed re-solve: allocating solve + full proc scan. */
+    void resolve_node_seed(NodeId node);
+
+    /** Dispatch to the mode's re-solve implementation. */
+    void resolve_node(NodeId node);
+
     /** Settle a busy proc's remaining work up to now(). */
-    void settle(Proc& p);
+    void settle(std::size_t pid);
+
+    /** Settle + re-rate + reschedule one busy proc of a node. */
+    void reschedule_proc(std::size_t pid, double slowdown);
 
     /** (Re)schedule a busy proc's completion event. */
     void schedule_completion(ProcId pid);
@@ -180,12 +250,61 @@ class Simulation {
     void complete(ProcId pid);
 
     ClusterSpec spec_;
-    EventQueue queue_;
+    SimOptions opts_;
+    std::unique_ptr<EventQueueBase> queue_;
     SimStats stats_;
+    ContentionSolver solver_; // reusable SoA scratch (scaled mode)
+
+    // Per-node state.
     std::vector<char> crashed_; // per-node crash flag
     std::vector<std::vector<TenantId>> node_tenants_;
-    std::vector<Tenant> tenants_;
-    std::vector<Proc> procs_;
+    /**
+     * Procs whose tenant lives on the node, in ascending ProcId order
+     * (procs never change node: a tenant's node is fixed for life).
+     * Makes a re-solve touch only the node's procs — the O(cluster) →
+     * O(node) change that unlocks 10k-node runs.
+     */
+    std::vector<std::vector<ProcId>> node_procs_;
+
+    // Tenant state, struct-of-arrays (indexed by TenantId).
+    std::vector<NodeId> tenant_node_;
+    std::vector<char> tenant_live_;
+    std::vector<double> tenant_slowdown_;
+    std::vector<TenantDemand> tenant_demand_;
+
+    // Proc state, struct-of-arrays (indexed by ProcId). The done
+    // callbacks sit in their own (cold) array so the settle/reschedule
+    // loops never pull std::function payloads through the cache.
+    std::vector<TenantId> proc_tenant_;
+    std::vector<char> proc_busy_;
+    std::vector<double> proc_remaining_;   // work units left
+    std::vector<double> proc_rate_;        // work units per second
+    std::vector<double> proc_last_update_; // last settle time
+    std::vector<EventId> proc_event_;      // pending completion event
+    std::vector<Callback> proc_done_;
+
+    // Dirty-set batching.
+    int batch_depth_ = 0;
+    std::vector<char> node_dirty_;
+    std::vector<NodeId> dirty_nodes_;
+};
+
+/**
+ * RAII resolve batch: begin_resolve_batch() on construction,
+ * end_resolve_batch() on destruction.
+ */
+class ResolveBatch {
+  public:
+    explicit ResolveBatch(Simulation& sim) : sim_(sim)
+    {
+        sim_.begin_resolve_batch();
+    }
+    ~ResolveBatch() { sim_.end_resolve_batch(); }
+    ResolveBatch(const ResolveBatch&) = delete;
+    ResolveBatch& operator=(const ResolveBatch&) = delete;
+
+  private:
+    Simulation& sim_;
 };
 
 } // namespace imc::sim

@@ -1,48 +1,282 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/error.hpp"
 
 namespace imc::sim {
 
+namespace {
+
+/** Smallest wheel; also the size the queue starts at. */
+constexpr std::size_t kMinBuckets = 8;
+
+/**
+ * Bucket keys are clamped here. Events beyond the clamp share one
+ * far bucket and still fire in correct (time, seq) order — the
+ * direct-scan fallback orders by time, not key — the wheel just
+ * stops helping for them.
+ */
+constexpr double kMaxKey = 4.0e18;
+
+/** Next power of two >= @p n, at least kMinBuckets. */
+std::size_t
+next_pow2(std::size_t n)
+{
+    std::size_t p = kMinBuckets;
+    while (p < n)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// EventQueueBase: shared scheduling / cancellation / run semantics.
+// ---------------------------------------------------------------------
+
 EventId
-EventQueue::schedule_at(double time, Callback cb)
+EventQueueBase::schedule_at(double time, Callback cb)
 {
     require(time >= now_ - 1e-12,
             "EventQueue: cannot schedule into the past");
     require(static_cast<bool>(cb), "EventQueue: null callback");
     const EventId id = next_id_++;
-    heap_.push(Entry{time, next_seq_++, id});
-    live_.emplace(id, std::move(cb));
+    live_.emplace(id, LiveEvent{std::move(cb), time});
+    push_entry(Entry{time, next_seq_++, id});
     return id;
 }
 
 void
-EventQueue::cancel(EventId id)
+EventQueueBase::cancel(EventId id)
 {
-    live_.erase(id);
+    const auto it = live_.find(id);
+    if (it == live_.end())
+        return; // already fired or cancelled: harmless no-op
+    erase_entry(id, it->second.time);
+    live_.erase(it);
+}
+
+void
+EventQueueBase::erase_entry(EventId, double)
+{
+    // Default: leave a tombstone for pop_min to skip.
 }
 
 bool
-EventQueue::pop_and_run()
+EventQueueBase::pop_and_run()
+{
+    if (live_.empty())
+        return false;
+    const Entry e = pop_min();
+    const auto it = live_.find(e.id);
+    invariant(it != live_.end(), "EventQueue: pop_min returned a dead entry");
+    Callback cb = std::move(it->second.cb);
+    live_.erase(it);
+    invariant(e.time >= now_ - 1e-12, "EventQueue: time went backwards");
+    now_ = std::max(now_, e.time);
+    ++executed_;
+    cb();
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// EventQueue: the calendar queue.
+// ---------------------------------------------------------------------
+
+EventQueue::EventQueue() : buckets_(kMinBuckets), mask_(kMinBuckets - 1)
+{
+}
+
+std::uint64_t
+EventQueue::key_of(double time) const
+{
+    const double q = time / width_;
+    if (!(q > 0.0))
+        return 0; // negative epsilon near t=0
+    if (q >= kMaxKey)
+        return static_cast<std::uint64_t>(kMaxKey);
+    return static_cast<std::uint64_t>(q);
+}
+
+void
+EventQueue::push_entry(const Entry& e)
+{
+    // Grow when the live population outruns the wheel; rebuilding
+    // also re-tunes the width to the new density.
+    if (live_.size() > 2 * buckets_.size())
+        rebuild(next_pow2(live_.size()));
+
+    const std::uint64_t key = key_of(e.time);
+    buckets_[static_cast<std::size_t>(key) & mask_].push_back(
+        Slot{e.time, e.seq, e.id, key});
+    // An arrival behind the cursor (possible right after the cursor
+    // jumped forward via pop_direct) re-aims it; schedule_at already
+    // guarantees e.time >= now(), so nothing due is ever skipped.
+    if (key < cur_key_)
+        cur_key_ = key;
+}
+
+void
+EventQueue::erase_entry(EventId id, double time)
+{
+    // key_of(time) recomputes the stored key exactly: rebuilds re-key
+    // every slot at the current width, so slot.key is always
+    // key_of(slot.time) under the live width.
+    const std::uint64_t key = key_of(time);
+    auto& bucket = buckets_[static_cast<std::size_t>(key) & mask_];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+        if (bucket[i].id != id)
+            continue;
+        bucket[i] = bucket.back();
+        bucket.pop_back();
+        return;
+    }
+    invariant(false, "EventQueue: cancelled entry missing from wheel");
+}
+
+EventQueueBase::Entry
+EventQueue::pop_min()
+{
+    // Shrink lazily, amortized against pops, once the wheel has gone
+    // an order of magnitude sparser than its bucket count.
+    if (buckets_.size() > kMinBuckets &&
+        live_.size() * 8 < buckets_.size())
+        rebuild(next_pow2(live_.size()));
+
+    // Walk the wheel at most one full lap from the cursor. Every
+    // stored slot is live (cancel erases eagerly), so this touches
+    // only real events.
+    for (std::size_t lap = 0; lap <= mask_; ++lap) {
+        auto& bucket = buckets_[static_cast<std::size_t>(cur_key_) & mask_];
+        std::size_t best = bucket.size();
+        for (std::size_t i = 0; i < bucket.size(); ++i) {
+            if (bucket[i].key != cur_key_)
+                continue; // same bucket, a later lap of the wheel
+            if (best == bucket.size() ||
+                bucket[i].time < bucket[best].time ||
+                (bucket[i].time == bucket[best].time &&
+                 bucket[i].seq < bucket[best].seq))
+                best = i;
+        }
+        if (best != bucket.size()) {
+            const Entry out{bucket[best].time, bucket[best].seq,
+                            bucket[best].id};
+            bucket[best] = bucket.back();
+            bucket.pop_back();
+            return out;
+        }
+        ++cur_key_; // this key's window is empty: advance the cursor
+    }
+    // A whole lap was empty: the next event is over a wheel-span
+    // away (or sits in the clamped far bucket). Find it directly.
+    return pop_direct();
+}
+
+EventQueueBase::Entry
+EventQueue::pop_direct()
+{
+    const Slot* min = nullptr;
+    for (const auto& bucket : buckets_) {
+        for (const Slot& s : bucket) {
+            if (min == nullptr || s.time < min->time ||
+                (s.time == min->time && s.seq < min->seq))
+                min = &s;
+        }
+    }
+    invariant(min != nullptr, "EventQueue: live set and wheel disagree");
+    const Entry out{min->time, min->seq, min->id};
+    cur_key_ = min->key; // re-aim: neighbours of the min are near it
+    auto& bucket = buckets_[static_cast<std::size_t>(min->key) & mask_];
+    const auto idx = static_cast<std::size_t>(min - bucket.data());
+    bucket[idx] = bucket.back();
+    bucket.pop_back();
+    return out;
+}
+
+void
+EventQueue::rebuild(std::size_t nbuckets)
+{
+    ++rebuilds_;
+    std::vector<Slot> alive;
+    alive.reserve(live_.size());
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (auto& bucket : buckets_) {
+        for (const Slot& s : bucket) {
+            alive.push_back(s);
+            lo = std::min(lo, s.time);
+            hi = std::max(hi, s.time);
+        }
+    }
+
+    // Width ~ live span / live count puts about one event per bucket.
+    // The floor keeps bucket keys small enough to stay exact in a
+    // double and clear of the clamp even for large absolute times.
+    double width = 1.0;
+    if (alive.size() >= 2 && hi > lo)
+        width = (hi - lo) / static_cast<double>(alive.size());
+    width = std::max(width, std::max(std::fabs(hi), 1.0) * 1e-9);
+    width_ = width;
+
+    buckets_.assign(nbuckets, {});
+    mask_ = nbuckets - 1;
+    cur_key_ = alive.empty() ? key_of(now()) : key_of(lo);
+    for (Slot& s : alive) {
+        s.key = key_of(s.time);
+        buckets_[static_cast<std::size_t>(s.key) & mask_].push_back(s);
+    }
+}
+
+std::size_t
+EventQueue::approx_bytes() const
+{
+    std::size_t bytes = buckets_.capacity() * sizeof(buckets_.front());
+    for (const auto& bucket : buckets_)
+        bytes += bucket.capacity() * sizeof(Slot);
+    // The live_ map: one node (entry + hash link) per element plus
+    // the bucket array, estimated at libstdc++'s layout.
+    bytes += live_.size() *
+             (sizeof(std::pair<EventId, LiveEvent>) + 2 * sizeof(void*));
+    bytes += live_.bucket_count() * sizeof(void*);
+    return bytes;
+}
+
+// ---------------------------------------------------------------------
+// HeapEventQueue: the seed binary heap.
+// ---------------------------------------------------------------------
+
+void
+HeapEventQueue::push_entry(const Entry& e)
+{
+    heap_.push(HeapEntry{e.time, e.seq, e.id});
+}
+
+EventQueueBase::Entry
+HeapEventQueue::pop_min()
 {
     while (!heap_.empty()) {
-        const Entry e = heap_.top();
+        const HeapEntry e = heap_.top();
         heap_.pop();
-        const auto it = live_.find(e.id);
-        if (it == live_.end())
-            continue; // cancelled; skip the tombstone
-        Callback cb = std::move(it->second);
-        live_.erase(it);
-        invariant(e.time >= now_ - 1e-12,
-                  "EventQueue: time went backwards");
-        now_ = std::max(now_, e.time);
-        ++executed_;
-        cb();
-        return true;
+        if (is_live(e.id))
+            return Entry{e.time, e.seq, e.id};
+        // cancelled; skip the tombstone
     }
-    return false;
+    invariant(false, "HeapEventQueue: live set and heap disagree");
+    return Entry{}; // unreachable
+}
+
+std::size_t
+HeapEventQueue::approx_bytes() const
+{
+    std::size_t bytes = heap_.size() * sizeof(HeapEntry);
+    bytes += live_.size() *
+             (sizeof(std::pair<EventId, LiveEvent>) + 2 * sizeof(void*));
+    bytes += live_.bucket_count() * sizeof(void*);
+    return bytes;
 }
 
 } // namespace imc::sim

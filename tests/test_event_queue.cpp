@@ -1,6 +1,15 @@
 /**
  * @file
- * Unit tests of the cancellable event queue.
+ * Unit tests of the cancellable event queues.
+ *
+ * The contract suite is typed over both implementations — the
+ * calendar EventQueue and the seed HeapEventQueue — so the two can
+ * never drift apart: every ordering, cancellation, and liveness
+ * guarantee is asserted against both. The randomized oracle drives
+ * 100k+ mixed operations (schedule/pop/cancel, heavy time ties,
+ * mixed time scales that force wheel grow/shrink rebuilds, and
+ * cancels of already-fired ids) against a std::multimap ordered by
+ * (time, insertion seq) — the exact order the queues promise.
  */
 
 #include <gtest/gtest.h>
@@ -14,9 +23,18 @@
 
 using namespace imc::sim;
 
-TEST(EventQueue, RunsInTimeOrder)
+template <typename Q>
+class EventQueueContract : public ::testing::Test {
+  protected:
+    Q queue_;
+};
+
+using QueueTypes = ::testing::Types<EventQueue, HeapEventQueue>;
+TYPED_TEST_SUITE(EventQueueContract, QueueTypes);
+
+TYPED_TEST(EventQueueContract, RunsInTimeOrder)
 {
-    EventQueue q;
+    auto& q = this->queue_;
     std::vector<int> order;
     q.schedule_at(2.0, [&] { order.push_back(2); });
     q.schedule_at(1.0, [&] { order.push_back(1); });
@@ -27,9 +45,9 @@ TEST(EventQueue, RunsInTimeOrder)
     EXPECT_DOUBLE_EQ(q.now(), 3.0);
 }
 
-TEST(EventQueue, TiesBreakFifo)
+TYPED_TEST(EventQueueContract, TiesBreakFifo)
 {
-    EventQueue q;
+    auto& q = this->queue_;
     std::vector<int> order;
     for (int i = 0; i < 5; ++i)
         q.schedule_at(1.0, [&order, i] { order.push_back(i); });
@@ -38,9 +56,9 @@ TEST(EventQueue, TiesBreakFifo)
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
-TEST(EventQueue, CancelPreventsExecution)
+TYPED_TEST(EventQueueContract, CancelPreventsExecution)
 {
-    EventQueue q;
+    auto& q = this->queue_;
     bool ran = false;
     const EventId id = q.schedule_at(1.0, [&] { ran = true; });
     q.cancel(id);
@@ -50,18 +68,32 @@ TEST(EventQueue, CancelPreventsExecution)
     EXPECT_EQ(q.executed(), 0u);
 }
 
-TEST(EventQueue, CancelIsIdempotent)
+TYPED_TEST(EventQueueContract, CancelIsIdempotent)
 {
-    EventQueue q;
+    auto& q = this->queue_;
     const EventId id = q.schedule_at(1.0, [] {});
     q.cancel(id);
     q.cancel(id); // no-op
     EXPECT_TRUE(q.empty());
 }
 
-TEST(EventQueue, SizeTracksLiveEvents)
+TYPED_TEST(EventQueueContract, CancelOfAbsentIdIsHarmless)
 {
-    EventQueue q;
+    auto& q = this->queue_;
+    q.cancel(12345); // never scheduled
+    int fired = 0;
+    const EventId id = q.schedule_at(1.0, [&] { ++fired; });
+    q.cancel(id + 1000); // also never scheduled
+    ASSERT_TRUE(q.pop_and_run());
+    q.cancel(id); // already fired
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.executed(), 1u);
+    EXPECT_TRUE(q.empty());
+}
+
+TYPED_TEST(EventQueueContract, SizeTracksLiveEvents)
+{
+    auto& q = this->queue_;
     const EventId a = q.schedule_at(1.0, [] {});
     q.schedule_at(2.0, [] {});
     EXPECT_EQ(q.size(), 2u);
@@ -71,9 +103,9 @@ TEST(EventQueue, SizeTracksLiveEvents)
     EXPECT_TRUE(q.empty());
 }
 
-TEST(EventQueue, EventsMayScheduleMoreEvents)
+TYPED_TEST(EventQueueContract, EventsMayScheduleMoreEvents)
 {
-    EventQueue q;
+    auto& q = this->queue_;
     int fired = 0;
     q.schedule_at(1.0, [&] {
         ++fired;
@@ -85,29 +117,28 @@ TEST(EventQueue, EventsMayScheduleMoreEvents)
     EXPECT_DOUBLE_EQ(q.now(), 2.0);
 }
 
-TEST(EventQueue, SchedulingIntoThePastThrows)
+TYPED_TEST(EventQueueContract, SchedulingIntoThePastThrows)
 {
-    EventQueue q;
+    auto& q = this->queue_;
     q.schedule_at(5.0, [] {});
     q.pop_and_run();
     EXPECT_THROW(q.schedule_at(4.0, [] {}), imc::ConfigError);
 }
 
-TEST(EventQueue, NullCallbackRejected)
+TYPED_TEST(EventQueueContract, NullCallbackRejected)
 {
-    EventQueue q;
-    EXPECT_THROW(q.schedule_at(1.0, Callback{}), imc::ConfigError);
+    EXPECT_THROW(this->queue_.schedule_at(1.0, Callback{}),
+                 imc::ConfigError);
 }
 
-TEST(EventQueue, PopOnEmptyReturnsFalse)
+TYPED_TEST(EventQueueContract, PopOnEmptyReturnsFalse)
 {
-    EventQueue q;
-    EXPECT_FALSE(q.pop_and_run());
+    EXPECT_FALSE(this->queue_.pop_and_run());
 }
 
-TEST(EventQueue, ExecutedCountsOnlyRealRuns)
+TYPED_TEST(EventQueueContract, ExecutedCountsOnlyRealRuns)
 {
-    EventQueue q;
+    auto& q = this->queue_;
     q.schedule_at(1.0, [] {});
     const EventId id = q.schedule_at(2.0, [] {});
     q.cancel(id);
@@ -116,41 +147,112 @@ TEST(EventQueue, ExecutedCountsOnlyRealRuns)
     EXPECT_EQ(q.executed(), 1u);
 }
 
-TEST(EventQueue, RandomizedInterleavingMatchesOrderedOracle)
+TYPED_TEST(EventQueueContract, FifoSurvivesInternalReorganization)
 {
-    // 10k randomized schedule/pop/cancel operations checked against a
-    // std::multimap oracle keyed by (time, insertion seq) — the exact
-    // order the queue promises, including FIFO tie-breaking.
-    EventQueue q;
-    // (time, insertion seq) -> {queue id, callback token}; seq
-    // increases monotonically, so map order within a time bucket is
-    // the FIFO order the queue promises.
+    // 512 tied events interleaved with 2048 spread events: the
+    // calendar queue grows (and re-buckets) several times while the
+    // tied cohort is live, so this pins FIFO order across rebuilds;
+    // the heap sees the identical sequence.
+    auto& q = this->queue_;
+    std::vector<int> tied_order;
+    std::vector<EventId> spread;
+    for (int i = 0; i < 512; ++i) {
+        q.schedule_at(100.0,
+                      [&tied_order, i] { tied_order.push_back(i); });
+        for (int j = 0; j < 4; ++j) {
+            const double when =
+                static_cast<double>(i) * 0.15 +
+                static_cast<double>(j) * 7.3 + 0.01; // all < 100
+            spread.push_back(q.schedule_at(when, [] {}));
+        }
+    }
+    // Cancel half the spread events to mix erasure into the same
+    // window, then drain.
+    for (std::size_t i = 0; i < spread.size(); i += 2)
+        q.cancel(spread[i]);
+    while (q.pop_and_run()) {
+    }
+    ASSERT_EQ(tied_order.size(), 512u);
+    for (int i = 0; i < 512; ++i)
+        EXPECT_EQ(tied_order[static_cast<std::size_t>(i)], i);
+    EXPECT_DOUBLE_EQ(q.now(), 100.0);
+}
+
+TYPED_TEST(EventQueueContract, FarFutureEventsFireInOrder)
+{
+    // A cluster near t=0 plus stragglers many orders of magnitude
+    // out: the calendar wheel cannot cover the span, so pops must
+    // fall back to a direct scan and still honor (time, seq) order.
+    auto& q = this->queue_;
+    std::vector<int> order;
+    q.schedule_at(1.0e12, [&] { order.push_back(3); });
+    q.schedule_at(0.5, [&] { order.push_back(0); });
+    q.schedule_at(1.0e6, [&] { order.push_back(2); });
+    q.schedule_at(0.75, [&] { order.push_back(1); });
+    q.schedule_at(1.0e12, [&] { order.push_back(4); }); // ties FIFO
+    while (q.pop_and_run()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+namespace {
+
+/**
+ * Drive @p ops randomized operations against a (time, seq)-ordered
+ * multimap oracle. Three phases stress different wheel shapes:
+ * schedule-heavy (growth), balanced with heavy ties, and pop-heavy
+ * (drain + shrink). Time offsets mix a small tie-heavy grid, a
+ * medium uniform spread, and rare far-future outliers.
+ */
+template <typename Q>
+void
+randomized_oracle(Q& q, int ops, std::uint64_t seed)
+{
     struct Pending {
         EventId id;
         std::uint64_t token;
     };
-    std::multimap<std::pair<double, std::uint64_t>, Pending> oracle;
+    using Key = std::pair<double, std::uint64_t>;
+    std::multimap<Key, Pending> oracle;
+    std::map<EventId, Key> by_id; // cancel lookup, O(log n)
     std::vector<std::uint64_t> fired;
     std::vector<EventId> cancellable;
-    imc::Rng rng(20260805);
+    imc::Rng rng(seed);
     std::uint64_t seq = 0;
     std::uint64_t expected_executed = 0;
 
-    // A small time grid forces heavy ties; schedule/pop/cancel are
-    // weighted 5/3/2.
-    for (int op = 0; op < 10000; ++op) {
+    for (int op = 0; op < ops; ++op) {
+        // Phase-dependent op weights out of 10: grow 7/2/1,
+        // steady 5/3/2, drain 2/6/2.
+        std::uint64_t w_schedule = 5;
+        std::uint64_t w_pop = 3;
+        if (op < ops / 4) {
+            w_schedule = 7;
+            w_pop = 2;
+        } else if (op > (3 * ops) / 4) {
+            w_schedule = 2;
+            w_pop = 6;
+        }
         const auto kind = rng.uniform_index(10);
-        if (kind < 5) {
-            const double when =
-                q.now() +
-                static_cast<double>(rng.uniform_index(4)); // may tie
+        if (kind < w_schedule) {
+            double when = q.now();
+            const auto scale = rng.uniform_index(100);
+            if (scale < 70) {
+                when += static_cast<double>(
+                    rng.uniform_index(4)); // tie-heavy grid
+            } else if (scale < 95) {
+                when += rng.uniform(0.0, 50.0);
+            } else {
+                when += rng.uniform(1.0e5, 1.0e9); // far future
+            }
             const std::uint64_t token = seq;
             const EventId id = q.schedule_at(
                 when, [&fired, token] { fired.push_back(token); });
-            oracle.emplace(std::make_pair(when, seq++),
-                           Pending{id, token});
+            oracle.emplace(Key{when, seq}, Pending{id, token});
+            by_id.emplace(id, Key{when, seq});
+            ++seq;
             cancellable.push_back(id);
-        } else if (kind < 8) {
+        } else if (kind < w_schedule + w_pop) {
             ASSERT_EQ(q.size(), oracle.size());
             if (oracle.empty()) {
                 EXPECT_FALSE(q.pop_and_run());
@@ -159,26 +261,33 @@ TEST(EventQueue, RandomizedInterleavingMatchesOrderedOracle)
             const auto next = oracle.begin();
             const double when = next->first.first;
             const std::uint64_t expect_token = next->second.token;
+            by_id.erase(next->second.id);
             oracle.erase(next);
             const std::size_t before = fired.size();
             ASSERT_TRUE(q.pop_and_run());
             ++expected_executed;
             ASSERT_EQ(fired.size(), before + 1);
-            EXPECT_EQ(fired.back(), expect_token);
-            EXPECT_DOUBLE_EQ(q.now(), when);
+            ASSERT_EQ(fired.back(), expect_token);
+            ASSERT_DOUBLE_EQ(q.now(), when);
         } else {
             if (cancellable.empty())
                 continue;
             const auto pick = rng.uniform_index(cancellable.size());
             const EventId id = cancellable[pick];
-            cancellable.erase(cancellable.begin() +
-                              static_cast<std::ptrdiff_t>(pick));
+            cancellable[pick] = cancellable.back();
+            cancellable.pop_back();
             q.cancel(id); // may already have fired: harmless no-op
-            for (auto it = oracle.begin(); it != oracle.end(); ++it) {
-                if (it->second.id == id) {
-                    oracle.erase(it);
-                    break;
+            const auto it = by_id.find(id);
+            if (it != by_id.end()) {
+                auto range = oracle.equal_range(it->second);
+                for (auto oit = range.first; oit != range.second;
+                     ++oit) {
+                    if (oit->second.id == id) {
+                        oracle.erase(oit);
+                        break;
+                    }
                 }
+                by_id.erase(it);
             }
         }
         ASSERT_EQ(q.size(), oracle.size());
@@ -192,8 +301,79 @@ TEST(EventQueue, RandomizedInterleavingMatchesOrderedOracle)
         const std::uint64_t expect_token = next->second.token;
         oracle.erase(next);
         ASSERT_TRUE(q.pop_and_run());
-        EXPECT_EQ(fired.back(), expect_token);
+        ASSERT_EQ(fired.back(), expect_token);
     }
     EXPECT_FALSE(q.pop_and_run());
+    EXPECT_TRUE(q.empty());
+}
+
+} // namespace
+
+TYPED_TEST(EventQueueContract,
+           RandomizedInterleavingMatchesOrderedOracle)
+{
+    randomized_oracle(this->queue_, 100000, 20260805);
+}
+
+TYPED_TEST(EventQueueContract, RandomizedOracleSecondSeed)
+{
+    // A second stream reshuffles which phase hits which wheel shape.
+    randomized_oracle(this->queue_, 30000, 42);
+}
+
+TEST(CalendarQueue, WheelGrowsAndShrinksWithPopulation)
+{
+    EventQueue q;
+    const std::size_t initial = q.bucket_count();
+    std::vector<EventId> ids;
+    for (int i = 0; i < 10000; ++i)
+        ids.push_back(q.schedule_at(
+            static_cast<double>(i % 97) + 0.5, [] {}));
+    EXPECT_GT(q.bucket_count(), initial);
+    EXPECT_GT(q.rebuilds(), 0u);
+    EXPECT_GE(q.bucket_count() * 2, q.size()); // load factor bound
+
+    // Drain almost everything; lazy shrink triggers on later pops.
+    for (std::size_t i = 0; i + 8 < ids.size(); ++i)
+        q.cancel(ids[i]);
+    while (q.pop_and_run()) {
+    }
+    EXPECT_LE(q.bucket_count(), initial * 2);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, ResizeBoundaryKeepsOrderAcrossThreshold)
+{
+    // Grow the live population through several wheel doublings with
+    // pops interleaved, so rebuilds keep firing right at the 2x-load
+    // grow boundary and must never perturb (time, seq) order. Net
+    // growth is +48 events per round, so eight doublings stay a few
+    // thousand events.
+    EventQueue q;
+    std::multimap<std::pair<double, int>, int> oracle;
+    std::vector<int> fired;
+    int token = 0;
+    imc::Rng rng(7);
+    while (q.rebuilds() < 8) {
+        for (int i = 0; i < 64; ++i) {
+            const double when =
+                q.now() + static_cast<double>(rng.uniform_index(8));
+            const int t = token++;
+            q.schedule_at(when, [&fired, t] { fired.push_back(t); });
+            oracle.emplace(std::make_pair(when, t), t);
+        }
+        for (int pops = 0; pops < 16 && !oracle.empty(); ++pops) {
+            const auto next = oracle.begin();
+            ASSERT_TRUE(q.pop_and_run());
+            ASSERT_EQ(fired.back(), next->second);
+            oracle.erase(next);
+        }
+    }
+    while (!oracle.empty()) {
+        const auto next = oracle.begin();
+        ASSERT_TRUE(q.pop_and_run());
+        ASSERT_EQ(fired.back(), next->second);
+        oracle.erase(next);
+    }
     EXPECT_TRUE(q.empty());
 }

@@ -818,6 +818,156 @@ TEST(FaultCrash, ScheduledCrashesDeterministicAndGatedOnArming)
 }
 
 // ---------------------------------------------------------------------
+// 1k-node crash-recovery chaos: a --fault-spec sim.crash:crash:0.05
+// schedule dooms ~5% of a 1000-node cluster; the scaled engine
+// absorbs the mid-run crash wave dropping exactly the victims' work,
+// and placement recovery re-places every displaced unit off the dead
+// nodes — with an outcome that is byte-identical whether the models
+// behind the evaluator were measured with 1, 4, or 8 worker threads.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** A recovered placement flattened for exact comparison. */
+struct RecoveryFingerprint {
+    std::vector<sim::NodeId> nodes;
+    int moved_units = 0;
+    double total_time = 0.0;
+
+    bool operator==(const RecoveryFingerprint& other) const
+    {
+        return nodes == other.nodes &&
+               moved_units == other.moved_units &&
+               total_time == other.total_time;
+    }
+};
+
+RecoveryFingerprint
+fingerprint_of(const RecoveryResult& recovered,
+               const std::vector<Instance>& instances)
+{
+    RecoveryFingerprint fp;
+    for (int i = 0; i < recovered.placement.num_instances(); ++i) {
+        const int units = instances[static_cast<std::size_t>(i)].units;
+        for (int u = 0; u < units; ++u)
+            fp.nodes.push_back(recovered.placement.node_of(i, u));
+    }
+    fp.moved_units = recovered.moved_units;
+    fp.total_time = recovered.total_time;
+    return fp;
+}
+
+} // namespace
+
+TEST(FaultCrash, ThousandNodeChaosRecoveryIsThreadInvariant)
+{
+    constexpr int kNodes = 1000;
+    const ArmGuard guard(2026, "sim.crash:crash:0.05");
+    const auto dead = scheduled_crashes("scale1k", kNodes);
+    ASSERT_FALSE(dead.empty());
+    // ~5% of 1000 doomed: a loose band that still catches a broken
+    // schedule (all-dead, none-dead, wrong probability).
+    EXPECT_GT(dead.size(), 20u);
+    EXPECT_LT(dead.size(), 100u);
+    std::vector<bool> is_dead(kNodes, false);
+    for (const sim::NodeId node : dead)
+        is_dead[static_cast<std::size_t>(node)] = true;
+
+    // Phase 1: the scaled engine takes the crash wave mid-run. Every
+    // node hosts one computing tenant; exactly the victims' work is
+    // lost and every victim ends empty.
+    sim::Simulation simulation(sim::ClusterSpec::scaled(kNodes),
+                               sim::SimOptions{
+                                   sim::EngineMode::kScaled});
+    int completions = 0;
+    for (int node = 0; node < kNodes; ++node) {
+        const sim::TenantId tenant =
+            simulation.add_tenant(node, light_demand());
+        simulation.compute(simulation.add_proc(tenant), 10.0,
+                           [&] { ++completions; });
+    }
+    for (std::size_t i = 0; i < dead.size(); ++i) {
+        const sim::NodeId victim = dead[i];
+        simulation.schedule(
+            0.5 + 0.01 * static_cast<double>(i),
+            [&simulation, victim] { simulation.crash_node(victim); });
+    }
+    simulation.run();
+    EXPECT_EQ(simulation.stats().node_crashes, dead.size());
+    EXPECT_EQ(completions, kNodes - static_cast<int>(dead.size()));
+    for (const sim::NodeId node : dead) {
+        EXPECT_TRUE(simulation.node_crashed(node));
+        EXPECT_EQ(simulation.tenants_on(node), 0);
+    }
+
+    // Phase 2: recover a 1800-unit placement spanning all 1000 nodes
+    // (2 slots each; the survivors' 1900 slots can absorb the loss).
+    std::vector<Instance> instances;
+    instances.reserve(600);
+    for (int i = 0; i < 600; ++i)
+        instances.push_back(Instance{
+            i % 2 == 0 ? find_app("M.milc") : find_app("C.libq"), 3});
+    Placement placement(instances, kNodes, 2);
+    int displaced = 0;
+    for (int i = 0; i < 600; ++i) {
+        for (int u = 0; u < 3; ++u) {
+            const int node = (3 * i + u) % kNodes;
+            placement.assign(i, u, node);
+            if (is_dead[static_cast<std::size_t>(node)])
+                ++displaced;
+        }
+    }
+    ASSERT_TRUE(placement.valid());
+    ASSERT_GT(displaced, 0);
+
+    AnnealOptions polish;
+    polish.iterations = 200;
+    polish.seed = 99;
+    polish.chains = 4;
+
+    std::optional<RecoveryFingerprint> want;
+    for (const int threads : {1, 4, 8}) {
+        SCOPED_TRACE(threads);
+        RunServiceOptions sopts;
+        sopts.threads = threads;
+        RunService service(sopts);
+        ModelRegistry registry(fast_cfg(),
+                               [] {
+                                   ModelBuildOptions opts;
+                                   opts.policy_samples = 6;
+                                   return opts;
+                               }(),
+                               &service);
+        ModelEvaluator eval(registry, instances);
+        const auto recovered = recover_after_crash(
+            placement, dead, eval, Goal::MinimizeTotalTime,
+            std::nullopt, polish);
+
+        EXPECT_TRUE(recovered.placement.valid());
+        EXPECT_EQ(recovered.moved_units, displaced);
+        for (int i = 0; i < recovered.placement.num_instances(); ++i)
+            for (int u = 0; u < 3; ++u)
+                EXPECT_FALSE(
+                    is_dead[static_cast<std::size_t>(
+                        recovered.placement.node_of(i, u))])
+                    << "i=" << i << " u=" << u;
+
+        const auto fp = fingerprint_of(recovered, instances);
+        if (!want) {
+            want = fp;
+            // The 4-chain polish races on std::threads, yet a rerun
+            // with the same models must land byte-identically.
+            const auto again = recover_after_crash(
+                placement, dead, eval, Goal::MinimizeTotalTime,
+                std::nullopt, polish);
+            EXPECT_TRUE(fingerprint_of(again, instances) == *want);
+        } else {
+            EXPECT_TRUE(fp == *want);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Campaign-level chaos soak: the fig06/fig07/table3 pipeline under a
 // seeded schedule is identical at every thread count, and an empty
 // schedule leaves it byte-identical to the unfaulted run.
