@@ -32,6 +32,30 @@
  *       through one shared RunService and report its
  *       submitted/executed/cache-hit accounting.
  *
+ *   trace gen --out trace.txt [--nodes 100] [--slots 2]
+ *             [--duration 1000] [--rate 1] [--lifetime 200]
+ *             [--sigma 0.8] [--max-units 4] [--slo-frac 0.3]
+ *             [--crash-rate 0] [--repair 100] [--seed 1]
+ *             [--apps A,B,...]
+ *       Generate a seeded synthetic scheduler event trace (Poisson
+ *       arrivals, lognormal lifetimes, mixed archetypes, optional
+ *       crash/repair process) in the imc-trace v1 text format. Pure
+ *       function of its flags.
+ *
+ *   serve --trace trace.txt [--candidates 16] [--polish 128]
+ *         [--slo-penalty 100] [--seed 1] [--no-evict]
+ *         [--oracle-every 0] [--oracle-iters 2000]
+ *         [--oracle-chains 1] [--execute] [--timing]
+ *       The event-driven scheduler ("imcd"): replay the trace through
+ *       sched::SchedulerCore, maintaining a near-optimal placement
+ *       incrementally (admission control, greedy insertion, bounded
+ *       polish, SLO-aware eviction, crash repair), and report the
+ *       decision stream plus placement quality vs the batch-anneal
+ *       oracle. Output is byte-identical at any --threads setting;
+ *       --timing appends wall-clock decision latencies (the one
+ *       non-deterministic section). --execute additionally runs the
+ *       admitted apps on the scaled sim engine (attach/detach).
+ *
  * Observability (all subcommands): --metrics prints an imc::obs
  * counter/gauge/histogram dump to stdout at exit; --metrics-out FILE
  * writes it to FILE (JSON when FILE ends in ".json"); --trace-out
@@ -40,8 +64,11 @@
  * and output is byte-identical to earlier releases.
  */
 
+#include <algorithm>
 #include <iostream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/cli.hpp"
@@ -54,6 +81,8 @@
 #include "core/serialize.hpp"
 #include "placement/annealer.hpp"
 #include "placement/evaluator.hpp"
+#include "sched/replay.hpp"
+#include "sched/trace.hpp"
 #include "workload/catalog.hpp"
 #include "workload/run_service.hpp"
 
@@ -264,6 +293,140 @@ cmd_campaign(const Cli& cli)
     return 0;
 }
 
+int
+cmd_trace_gen(const Cli& cli)
+{
+    sched::TraceGenOptions gopts;
+    gopts.num_nodes = cli.get_int("nodes", gopts.num_nodes);
+    gopts.slots_per_node = cli.get_int("slots", gopts.slots_per_node);
+    gopts.duration = cli.get_double("duration", gopts.duration);
+    gopts.arrival_rate = cli.get_double("rate", gopts.arrival_rate);
+    gopts.mean_lifetime =
+        cli.get_double("lifetime", gopts.mean_lifetime);
+    gopts.lifetime_sigma = cli.get_double("sigma", gopts.lifetime_sigma);
+    gopts.max_units = cli.get_int("max-units", gopts.max_units);
+    gopts.slo_fraction = cli.get_double("slo-frac", gopts.slo_fraction);
+    gopts.crash_rate = cli.get_double("crash-rate", gopts.crash_rate);
+    gopts.mean_repair = cli.get_double("repair", gopts.mean_repair);
+    gopts.seed = cli.get_u64("seed", gopts.seed);
+    for (const auto& name : cli.get_list("apps"))
+        gopts.apps.push_back(workload::find_app(name));
+
+    const sched::Trace trace = sched::generate_trace(gopts);
+    int arrivals = 0;
+    int crashes = 0;
+    for (const auto& e : trace.events) {
+        arrivals += e.kind == sched::EventKind::kArrive;
+        crashes += e.kind == sched::EventKind::kCrash;
+    }
+    const std::string out = cli.get("out", "trace.txt");
+    sched::save_trace_file(out, trace);
+    std::cout << "generated " << trace.events.size() << " events ("
+              << arrivals << " arrivals, " << crashes
+              << " crashes) over " << trace.num_nodes << " nodes x "
+              << trace.slots_per_node << " slots (seed=" << gopts.seed
+              << ") -> " << out << '\n';
+    return 0;
+}
+
+/** Percentile of a sorted sample set (nearest-rank). */
+double
+percentile(const std::vector<double>& sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+int
+cmd_serve(const Cli& cli)
+{
+    const std::string path = cli.get("trace", "");
+    if (path.empty()) {
+        std::cerr << "serve: --trace FILE required\n";
+        return 2;
+    }
+    const sched::Trace trace = sched::load_trace_file(path);
+
+    sched::ReplayOptions ropts;
+    ropts.sched.candidate_nodes = cli.get_int("candidates", 16);
+    ropts.sched.polish_proposals = cli.get_int("polish", 128);
+    ropts.sched.slo_penalty = cli.get_double("slo-penalty", 100.0);
+    ropts.sched.seed = cli.get_u64("seed", 1);
+    ropts.sched.allow_eviction = !cli.has("no-evict");
+    ropts.oracle_every = cli.get_int("oracle-every", 0);
+    ropts.oracle_iterations = cli.get_int("oracle-iters", 2000);
+    ropts.oracle_chains = cli.get_int("oracle-chains", 1);
+    ropts.execute = cli.has("execute");
+
+    // Profile every (app, units) model the trace can request up
+    // front: the worker pool (--threads) parallelizes profiling, and
+    // replay decision latencies then measure the scheduler, not the
+    // profiler. Results are bit-identical at any thread count.
+    workload::RunConfig cfg;
+    cfg.seed = cli.get_u64("profile-seed", 42);
+    cfg.reps = cli.get_int("reps", 2);
+    auto service = service_from(cli);
+    core::ModelRegistry registry(cfg, build_options_from(cli),
+                                 &service);
+    std::map<int, std::vector<workload::AppSpec>> by_units;
+    for (const auto& e : trace.events) {
+        if (e.kind != sched::EventKind::kArrive)
+            continue;
+        auto& apps = by_units[e.units];
+        const auto& spec = workload::find_app(e.app);
+        const auto same = [&spec](const workload::AppSpec& a) {
+            return a.abbrev == spec.abbrev;
+        };
+        if (std::find_if(apps.begin(), apps.end(), same) == apps.end())
+            apps.push_back(spec);
+    }
+    for (const auto& [units, apps] : by_units)
+        registry.prefetch(apps, units);
+
+    placement::ModelEvaluator evaluator(registry, {});
+    const sched::ReplayResult r =
+        sched::replay(trace, evaluator, ropts);
+
+    std::cout << "replayed " << path << ": " << trace.num_nodes
+              << " nodes x " << trace.slots_per_node << " slots, "
+              << r.events << " events\n";
+    std::cout << "arrivals " << r.arrivals << ": " << r.admitted
+              << " admitted, " << r.rejected << " rejected, "
+              << r.fault_rejected << " fault-rejected; departures "
+              << r.departures << "; crashes " << r.crashes << " ("
+              << r.moved_units << " units moved); joins " << r.joins
+              << "; evictions " << r.evictions << '\n';
+    std::cout << "final: " << r.final_apps << " apps, total time "
+              << fmt_fixed(r.final_total_time, 3) << ", objective "
+              << fmt_fixed(r.final_objective, 3) << '\n';
+    for (const auto& s : r.oracle) {
+        std::cout << "oracle @ event " << s.event << ": " << s.apps
+                  << " apps, sched " << fmt_fixed(s.sched_total, 3)
+                  << " vs anneal " << fmt_fixed(s.oracle_total, 3)
+                  << ", gap " << fmt_pct(s.gap(), 2) << '\n';
+    }
+    if (ropts.execute) {
+        std::cout << "executed on sim: " << r.exec_events
+                  << " events to t="
+                  << fmt_fixed(r.exec_sim_time, 1) << "s\n";
+    }
+    if (cli.has("timing")) {
+        // Wall-clock decision latencies: the one section that varies
+        // run to run (excluded from determinism comparisons).
+        std::vector<double> sorted = r.latencies_ms;
+        std::sort(sorted.begin(), sorted.end());
+        std::cout << "decision latency: p50 "
+                  << fmt_fixed(percentile(sorted, 50), 3) << " ms, p99 "
+                  << fmt_fixed(percentile(sorted, 99), 3) << " ms, max "
+                  << fmt_fixed(sorted.empty() ? 0.0 : sorted.back(), 3)
+                  << " ms\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -271,15 +434,23 @@ main(int argc, char** argv)
 {
     if (argc < 2) {
         std::cerr << "usage: imctl "
-                     "<profile|show|predict|place|campaign> "
-                     "[options]\n";
+                     "<profile|show|predict|place|campaign|trace|serve>"
+                     " [options]\n";
         return 2;
     }
     const std::string command = argv[1];
-    const Cli cli(argc - 1, argv + 1);
+    const bool trace_cmd = command == "trace";
+    if (trace_cmd && (argc < 3 || std::string(argv[2]) != "gen")) {
+        std::cerr << "usage: imctl trace gen [options]\n";
+        return 2;
+    }
+    const int skip = trace_cmd ? 2 : 1;
+    const Cli cli(argc - skip, argv + skip);
     try {
         const obs::Session obs_session(cli);
         const fault::Session fault_session(cli);
+        if (trace_cmd)
+            return cmd_trace_gen(cli);
         if (command == "profile")
             return cmd_profile(cli);
         if (command == "show")
@@ -290,6 +461,8 @@ main(int argc, char** argv)
             return cmd_place(cli);
         if (command == "campaign")
             return cmd_campaign(cli);
+        if (command == "serve")
+            return cmd_serve(cli);
         std::cerr << "imctl: unknown command '" << command << "'\n";
         return 2;
     } catch (const Error& e) {

@@ -22,6 +22,12 @@
  *   run.exec            RunService request execution
  *   registry.cache.load model-cache file load (transient corruption)
  *   sim.crash           node-crash schedule (placement recovery)
+ *   sched.admit         scheduler admission control (arrival rejected)
+ *   sched.evict         scheduler eviction (victim candidate vetoed)
+ *
+ * This table is the registry: imc-lint's fault-site rule checks every
+ * IMC_FAULT_PROBE in the tree against it, so adding a probe means
+ * extending both lists in the same change.
  *
  * A *schedule* is armed from a seed plus a spec string of
  * comma-separated clauses

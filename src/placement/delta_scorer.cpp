@@ -85,6 +85,7 @@ DeltaScorer::apply(const UnitSwap& swap)
 {
     if (!incremental_) {
         last_.valid = true;
+        last_.kind = Snapshot::Kind::kSwap;
         last_.swap = swap;
         last_.times = times_;
         placement_.swap_units(swap.instance_a, swap.unit_a,
@@ -103,6 +104,7 @@ DeltaScorer::apply(const UnitSwap& swap)
     const auto ib = static_cast<std::size_t>(swap.instance_b);
 
     last_.valid = true;
+    last_.kind = Snapshot::Kind::kSwap;
     last_.swap = swap;
     last_.node_a = node_a;
     last_.node_b = node_b;
@@ -178,12 +180,100 @@ DeltaScorer::apply(const UnitSwap& swap)
 }
 
 void
+DeltaScorer::move_unit(int instance, int unit, sim::NodeId to)
+{
+    const sim::NodeId from = placement_.node_of(instance, unit);
+    require(to >= 0 && to < placement_.num_nodes(),
+            "DeltaScorer::move_unit: node out of range");
+    require(to != from && !placement_.occupies(instance, to),
+            "DeltaScorer::move_unit: instance already on target node");
+
+    if (!incremental_) {
+        last_.valid = true;
+        last_.kind = Snapshot::Kind::kMove;
+        last_.swap = UnitSwap{instance, unit, instance, unit};
+        last_.node_a = from;
+        last_.node_b = to;
+        last_.times = times_;
+        placement_.assign(instance, unit, to);
+        times_ = evaluator_.predict(placement_);
+        return;
+    }
+
+    const auto nf = static_cast<std::size_t>(from);
+    const auto nt = static_cast<std::size_t>(to);
+    const auto ii = static_cast<std::size_t>(instance);
+
+    last_.valid = true;
+    last_.kind = Snapshot::Kind::kMove;
+    last_.swap = UnitSwap{instance, unit, instance, unit};
+    last_.node_a = from;
+    last_.node_b = to;
+    last_.tenants_a = node_tenants_[nf];
+    last_.tenants_b = node_tenants_[nt];
+    last_.nodes_a = sorted_nodes_[ii];
+
+    placement_.assign(instance, unit, to);
+    auto& tenants_from = node_tenants_[nf];
+    tenants_from.erase(std::find(tenants_from.begin(),
+                                 tenants_from.end(), instance));
+    auto& tenants_to = node_tenants_[nt];
+    tenants_to.insert(std::lower_bound(tenants_to.begin(),
+                                       tenants_to.end(), instance),
+                      instance);
+    auto& nodes = sorted_nodes_[ii];
+    nodes.erase(std::find(nodes.begin(), nodes.end(), from));
+    nodes.insert(std::upper_bound(nodes.begin(), nodes.end(), to), to);
+
+    last_.affected.clear();
+    last_.affected.push_back(instance);
+    last_.affected.insert(last_.affected.end(), tenants_from.begin(),
+                          tenants_from.end());
+    last_.affected.insert(last_.affected.end(), tenants_to.begin(),
+                          tenants_to.end());
+    std::sort(last_.affected.begin(), last_.affected.end());
+    last_.affected.erase(
+        std::unique(last_.affected.begin(), last_.affected.end()),
+        last_.affected.end());
+
+    // Same discipline as apply(): the mover gets a full rebuild (its
+    // node list changed); a bystander keeps its node list, so only
+    // its entries on the two touched nodes are recomputed.
+    if (last_.pressures.size() < last_.affected.size())
+        last_.pressures.resize(last_.affected.size());
+    last_.times.clear();
+    for (std::size_t k = 0; k < last_.affected.size(); ++k) {
+        const int inst = last_.affected[k];
+        const auto i = static_cast<std::size_t>(inst);
+        last_.times.push_back(times_[i]);
+        if (inst == instance) {
+            std::swap(last_.pressures[k], pressures_[i]);
+            rescore_instance(inst);
+            continue;
+        }
+        auto& list = pressures_[i];
+        last_.pressures[k] = list; // copy into recycled buffer
+        const auto& inst_nodes = sorted_nodes_[i];
+        for (std::size_t pos = 0; pos < inst_nodes.size(); ++pos) {
+            if (inst_nodes[pos] == from || inst_nodes[pos] == to)
+                list[pos] = pressure_at(inst, inst_nodes[pos]);
+        }
+        times_[i] = evaluator_.predict_instance(inst, list);
+    }
+}
+
+void
 DeltaScorer::undo()
 {
     invariant(last_.valid, "DeltaScorer::undo: nothing to undo");
     last_.valid = false;
-    placement_.swap_units(last_.swap.instance_a, last_.swap.unit_a,
-                          last_.swap.instance_b, last_.swap.unit_b);
+    if (last_.kind == Snapshot::Kind::kSwap) {
+        placement_.swap_units(last_.swap.instance_a, last_.swap.unit_a,
+                              last_.swap.instance_b, last_.swap.unit_b);
+    } else {
+        placement_.assign(last_.swap.instance_a, last_.swap.unit_a,
+                          last_.node_a);
+    }
     if (!incremental_) {
         std::swap(times_, last_.times);
         return;
@@ -194,13 +284,152 @@ DeltaScorer::undo()
         last_.tenants_b;
     sorted_nodes_[static_cast<std::size_t>(last_.swap.instance_a)] =
         last_.nodes_a;
-    sorted_nodes_[static_cast<std::size_t>(last_.swap.instance_b)] =
-        last_.nodes_b;
+    if (last_.kind == Snapshot::Kind::kSwap) {
+        sorted_nodes_[static_cast<std::size_t>(
+            last_.swap.instance_b)] = last_.nodes_b;
+    }
     for (std::size_t k = 0; k < last_.affected.size(); ++k) {
         const auto i = static_cast<std::size_t>(last_.affected[k]);
         std::swap(pressures_[i], last_.pressures[k]);
         times_[i] = last_.times[k];
     }
+}
+
+void
+DeltaScorer::push_instance(const Instance& inst,
+                           const std::vector<sim::NodeId>& nodes)
+{
+    last_.valid = false; // dynamic ops invalidate the undo snapshot
+    placement_.push_instance(inst, nodes);
+    if (!incremental_) {
+        times_ = evaluator_.predict(placement_);
+        return;
+    }
+    const int id = placement_.num_instances() - 1;
+    const auto& eval_scores = evaluator_.scores();
+    require(eval_scores.size() ==
+                static_cast<std::size_t>(placement_.num_instances()),
+            "DeltaScorer::push_instance: push the evaluator first");
+    scores_.push_back(eval_scores[static_cast<std::size_t>(id)]);
+    // The new id is the largest, so push_back keeps every tenant list
+    // ascending.
+    for (sim::NodeId node : nodes)
+        node_tenants_[static_cast<std::size_t>(node)].push_back(id);
+    sorted_nodes_.push_back(placement_.nodes_of(id));
+    pressures_.emplace_back();
+    times_.push_back(0.0);
+    rescore_instance(id);
+    // Every co-tenant on a touched node gained a partner.
+    for (sim::NodeId node : nodes) {
+        for (int other : node_tenants_[static_cast<std::size_t>(node)])
+            if (other != id)
+                rescore_instance(other);
+    }
+}
+
+void
+DeltaScorer::remove_instance_swap(int instance)
+{
+    last_.valid = false; // dynamic ops invalidate the undo snapshot
+    const int last_id = placement_.num_instances() - 1;
+    require(instance >= 0 && instance <= last_id,
+            "DeltaScorer::remove_instance_swap: instance out of range");
+    if (!incremental_) {
+        placement_.remove_instance_swap(instance);
+        times_ = evaluator_.predict(placement_);
+        return;
+    }
+    const auto idx = static_cast<std::size_t>(instance);
+    const std::vector<sim::NodeId> freed = sorted_nodes_[idx];
+    const std::vector<sim::NodeId> moved =
+        instance == last_id
+            ? std::vector<sim::NodeId>{}
+            : sorted_nodes_[static_cast<std::size_t>(last_id)];
+
+    placement_.remove_instance_swap(instance);
+    scores_[idx] = scores_.back();
+    scores_.pop_back();
+    sorted_nodes_[idx] = std::move(sorted_nodes_.back());
+    sorted_nodes_.pop_back();
+    pressures_[idx] = std::move(pressures_.back());
+    pressures_.pop_back();
+    times_[idx] = times_.back();
+    times_.pop_back();
+
+    // Drop the dying id from its nodes' tenant lists, then renumber
+    // last_id -> instance in the moved instance's lists (re-inserting
+    // at the ascending position, matching a from-scratch build).
+    for (sim::NodeId node : freed) {
+        auto& t = node_tenants_[static_cast<std::size_t>(node)];
+        t.erase(std::find(t.begin(), t.end(), instance));
+    }
+    for (sim::NodeId node : moved) {
+        auto& t = node_tenants_[static_cast<std::size_t>(node)];
+        t.erase(std::find(t.begin(), t.end(), last_id));
+        t.insert(std::lower_bound(t.begin(), t.end(), instance),
+                 instance);
+    }
+
+    // Re-score everyone whose partner set or partner *order* changed:
+    // tenants of the freed nodes lost a partner, and tenants of the
+    // moved instance's nodes see the same scores in a new ascending
+    // order (combine_pressures is order-sensitive in floating point).
+    std::vector<int> affected;
+    for (sim::NodeId node : freed) {
+        const auto& t = node_tenants_[static_cast<std::size_t>(node)];
+        affected.insert(affected.end(), t.begin(), t.end());
+    }
+    for (sim::NodeId node : moved) {
+        const auto& t = node_tenants_[static_cast<std::size_t>(node)];
+        affected.insert(affected.end(), t.begin(), t.end());
+    }
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+    for (int i : affected)
+        rescore_instance(i);
+}
+
+const std::vector<int>&
+DeltaScorer::tenants_on(sim::NodeId node) const
+{
+    invariant(incremental_,
+              "DeltaScorer::tenants_on: incremental mode only");
+    return node_tenants_.at(static_cast<std::size_t>(node));
+}
+
+const std::vector<double>&
+DeltaScorer::pressure_list(int instance) const
+{
+    invariant(incremental_,
+              "DeltaScorer::pressure_list: incremental mode only");
+    return pressures_.at(static_cast<std::size_t>(instance));
+}
+
+const std::vector<sim::NodeId>&
+DeltaScorer::nodes_sorted(int instance) const
+{
+    invariant(incremental_,
+              "DeltaScorer::nodes_sorted: incremental mode only");
+    return sorted_nodes_.at(static_cast<std::size_t>(instance));
+}
+
+double
+DeltaScorer::newcomer_pressure(sim::NodeId node) const
+{
+    invariant(incremental_,
+              "DeltaScorer::newcomer_pressure: incremental mode only");
+    const auto& tenants =
+        node_tenants_.at(static_cast<std::size_t>(node));
+    if (tenants.empty())
+        return 0.0;
+    std::vector<double> buf;
+    buf.reserve(tenants.size());
+    for (int t : tenants)
+        buf.push_back(scores_[static_cast<std::size_t>(t)]);
+    if (buf.size() == 1)
+        return buf[0] > 0.0 ? buf[0] : 0.0;
+    return bubble::combine_pressures(buf);
 }
 
 } // namespace imc::placement

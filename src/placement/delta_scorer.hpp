@@ -70,10 +70,58 @@ class DeltaScorer {
     void apply(const UnitSwap& swap);
 
     /**
-     * Revert the last applied swap, restoring placement and cached
-     * predictions. One level of undo; throws if nothing to undo.
+     * Move one unit of @p instance to a different node @p to, which
+     * the instance must not already occupy, and re-score the affected
+     * instances. Slot capacity on @p to is the caller's contract
+     * (the scorer tracks tenancy, not free slots). Undoable like
+     * apply().
+     */
+    void move_unit(int instance, int unit, sim::NodeId to);
+
+    /**
+     * Revert the last applied swap or move, restoring placement and
+     * cached predictions. One level of undo; throws if nothing to
+     * undo.
      */
     void undo();
+
+    /**
+     * Start tracking a new instance whose units are already assigned
+     * to @p nodes; the instance gets the largest index. The evaluator
+     * must already track it (push the evaluator first, then the
+     * scorer — rescoring maps indices through the evaluator).
+     * Invalidates the undo snapshot.
+     */
+    void push_instance(const Instance& inst,
+                       const std::vector<sim::NodeId>& nodes);
+
+    /**
+     * Stop tracking @p instance with swap-with-last renumbering
+     * (mirrors Placement/Evaluator::*_swap; pop the evaluator first).
+     * Invalidates the undo snapshot.
+     */
+    void remove_instance_swap(int instance);
+
+    /**
+     * Instances with a unit on @p node, ascending. @pre incremental()
+     */
+    const std::vector<int>& tenants_on(sim::NodeId node) const;
+
+    /**
+     * Combined interference pressure a *newcomer* would see on
+     * @p node (combine of every current tenant's bubble score).
+     * @pre incremental()
+     */
+    double newcomer_pressure(sim::NodeId node) const;
+
+    /**
+     * Current pressure list of @p instance, aligned with
+     * nodes_sorted(instance). @pre incremental()
+     */
+    const std::vector<double>& pressure_list(int instance) const;
+
+    /** Sorted node list of @p instance. @pre incremental() */
+    const std::vector<sim::NodeId>& nodes_sorted(int instance) const;
 
   private:
     /** Combined co-tenant pressure instance @p i sees on @p node. */
@@ -96,9 +144,12 @@ class DeltaScorer {
     /** Scratch partner-score buffer (avoids per-node allocation). */
     std::vector<double> partner_buf_;
 
-    /** Undo snapshot of the state the last apply() overwrote. */
+    /** Undo snapshot of the state the last apply()/move overwrote. */
     struct Snapshot {
         bool valid = false;
+        /** What the snapshot reverts: a unit swap or a unit move. */
+        enum class Kind { kSwap, kMove };
+        Kind kind = Kind::kSwap;
         UnitSwap swap;
         sim::NodeId node_a = -1;
         sim::NodeId node_b = -1;

@@ -33,6 +33,20 @@ Evaluator::predict_instance(int, const std::vector<double>&) const
         "Evaluator::predict_instance: delta path not supported");
 }
 
+void
+Evaluator::push_instance(const Instance&)
+{
+    throw LogicBug(
+        "Evaluator::push_instance: dynamic path not supported");
+}
+
+void
+Evaluator::pop_instance_swap(int)
+{
+    throw LogicBug(
+        "Evaluator::pop_instance_swap: dynamic path not supported");
+}
+
 std::vector<double>
 Evaluator::delta_predict(const Placement& placement,
                          const UnitSwap& swap,
@@ -73,11 +87,31 @@ Evaluator::delta_predict(const Placement& placement,
 
 ModelEvaluator::ModelEvaluator(core::ModelRegistry& registry,
                                const std::vector<Instance>& instances)
+    : registry_(&registry)
 {
     for (const auto& inst : instances) {
         models_.push_back(&registry.model(inst.app, inst.units));
         scores_.push_back(models_.back()->model.bubble_score());
     }
+}
+
+void
+ModelEvaluator::push_instance(const Instance& inst)
+{
+    models_.push_back(&registry_->model(inst.app, inst.units));
+    scores_.push_back(models_.back()->model.bubble_score());
+}
+
+void
+ModelEvaluator::pop_instance_swap(int instance)
+{
+    const auto idx = static_cast<std::size_t>(instance);
+    require(idx < models_.size(),
+            "ModelEvaluator::pop_instance_swap: instance out of range");
+    models_[idx] = models_.back();
+    models_.pop_back();
+    scores_[idx] = scores_.back();
+    scores_.pop_back();
 }
 
 std::vector<double>
@@ -104,11 +138,31 @@ ModelEvaluator::predict_instance(
 
 NaiveEvaluator::NaiveEvaluator(core::ModelRegistry& registry,
                                const std::vector<Instance>& instances)
+    : registry_(&registry)
 {
     for (const auto& inst : instances) {
         models_.push_back(&registry.model(inst.app, inst.units));
         scores_.push_back(models_.back()->model.bubble_score());
     }
+}
+
+void
+NaiveEvaluator::push_instance(const Instance& inst)
+{
+    models_.push_back(&registry_->model(inst.app, inst.units));
+    scores_.push_back(models_.back()->model.bubble_score());
+}
+
+void
+NaiveEvaluator::pop_instance_swap(int instance)
+{
+    const auto idx = static_cast<std::size_t>(instance);
+    require(idx < models_.size(),
+            "NaiveEvaluator::pop_instance_swap: instance out of range");
+    models_[idx] = models_.back();
+    models_.pop_back();
+    scores_[idx] = scores_.back();
+    scores_.pop_back();
 }
 
 std::vector<double>

@@ -77,6 +77,28 @@ class Evaluator {
                      const std::vector<double>& pressures) const;
 
     /**
+     * True when this evaluator supports dynamic instance add/remove
+     * (push_instance / pop_instance_swap), enabling the event-driven
+     * scheduler to grow and shrink the tracked app list online.
+     */
+    virtual bool supports_dynamic() const { return false; }
+
+    /**
+     * Start tracking one more instance, appended at the largest
+     * index (mirrors Placement::push_instance).
+     * @pre supports_dynamic()
+     */
+    virtual void push_instance(const Instance& inst);
+
+    /**
+     * Stop tracking @p instance by swapping the last tracked instance
+     * into its index and popping the tail (mirrors
+     * Placement::remove_instance_swap).
+     * @pre supports_dynamic()
+     */
+    virtual void pop_instance_swap(int instance);
+
+    /**
      * Incrementally updated predictions after a unit swap.
      *
      * Only instances with a unit on one of the two affected nodes are
@@ -121,7 +143,12 @@ class ModelEvaluator : public Evaluator {
     predict_instance(int instance,
                      const std::vector<double>& pressures) const override;
 
+    bool supports_dynamic() const override { return true; }
+    void push_instance(const Instance& inst) override;
+    void pop_instance_swap(int instance) override;
+
   private:
+    core::ModelRegistry* registry_;
     std::vector<const core::BuiltModel*> models_;
     std::vector<double> scores_;
 };
@@ -146,7 +173,12 @@ class NaiveEvaluator : public Evaluator {
     predict_instance(int instance,
                      const std::vector<double>& pressures) const override;
 
+    bool supports_dynamic() const override { return true; }
+    void push_instance(const Instance& inst) override;
+    void pop_instance_swap(int instance) override;
+
   private:
+    core::ModelRegistry* registry_;
     std::vector<const core::BuiltModel*> models_;
     std::vector<double> scores_;
 };

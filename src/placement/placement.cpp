@@ -13,7 +13,9 @@ Placement::Placement(std::vector<Instance> instances, int num_nodes,
     : instances_(std::move(instances)), num_nodes_(num_nodes),
       slots_per_node_(slots_per_node)
 {
-    require(!instances_.empty(), "Placement: no instances");
+    // An empty instance list is legal: the event-driven scheduler
+    // starts from an empty cluster and grows the placement via
+    // push_instance as apps arrive.
     require(num_nodes_ >= 1, "Placement: need at least one node");
     require(slots_per_node_ >= 1, "Placement: need at least one slot");
     int total_units = 0;
@@ -157,6 +159,36 @@ Placement::pressure_lists(const std::vector<double>& scores) const
         lists.push_back(std::move(list));
     }
     return lists;
+}
+
+void
+Placement::push_instance(const Instance& inst,
+                         const std::vector<sim::NodeId>& nodes)
+{
+    require(inst.units >= 1, "push_instance: instance with no units");
+    require(static_cast<int>(nodes.size()) == inst.units,
+            "push_instance: node count != units");
+    for (std::size_t a = 0; a < nodes.size(); ++a) {
+        require(nodes[a] >= 0 && nodes[a] < num_nodes_,
+                "push_instance: node out of range");
+        for (std::size_t b = a + 1; b < nodes.size(); ++b)
+            require(nodes[a] != nodes[b],
+                    "push_instance: instance doubled up on a node");
+    }
+    instances_.push_back(inst);
+    assignment_.push_back(nodes);
+}
+
+void
+Placement::remove_instance_swap(int instance)
+{
+    require(instance >= 0 && instance < num_instances(),
+            "remove_instance_swap: instance out of range");
+    const auto idx = static_cast<std::size_t>(instance);
+    instances_[idx] = std::move(instances_.back());
+    instances_.pop_back();
+    assignment_[idx] = std::move(assignment_.back());
+    assignment_.pop_back();
 }
 
 void

@@ -98,6 +98,25 @@ class Placement {
     std::vector<std::vector<double>>
     pressure_lists(const std::vector<double>& scores) const;
 
+    /**
+     * Append an instance with its units already assigned to
+     * @p nodes (one node per unit, distinct, in range). The new
+     * instance gets the largest index. Used by the event-driven
+     * scheduler; does not re-check global slot capacity — callers
+     * enforce admission before placing.
+     */
+    void push_instance(const Instance& inst,
+                       const std::vector<sim::NodeId>& nodes);
+
+    /**
+     * Remove instance @p instance by swapping the last instance into
+     * its index and popping the tail (O(1), same discipline as the
+     * evaluator/scorer dynamic ops). The instance formerly at the
+     * largest index is renumbered to @p instance; all other indices
+     * are unchanged.
+     */
+    void remove_instance_swap(int instance);
+
     /** Swap the node assignments of two units. */
     void swap_units(int instance_a, int unit_a, int instance_b,
                     int unit_b);

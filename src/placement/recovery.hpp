@@ -25,6 +25,11 @@
  * scheduled_crashes() derives the doomed node set for a scenario key
  * from the armed --fault-seed/--fault-spec, so a chaos run is fully
  * reproducible.
+ *
+ * This interface is implemented in src/sched/recovery.cpp as a thin
+ * client of sched::SchedulerCore (adoption mode): the batch recovery
+ * path and the event-driven scheduler's crash handling share one
+ * greedy-repair implementation. Link imc_sched to use it.
  */
 
 #include <optional>

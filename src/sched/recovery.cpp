@@ -1,11 +1,24 @@
+/**
+ * @file
+ * placement::recover_after_crash, reimplemented as a thin client of
+ * sched::SchedulerCore (adoption mode). The duplicate greedy-repair
+ * loop that used to live in src/placement/recovery.cpp is gone: the
+ * batch recovery entry point and the event-driven scheduler's crash
+ * handling now share one repair implementation, and the locked
+ * behavior (move order, tie breaks, error messages, determinism) is
+ * pinned by tests/test_fault.cpp.
+ */
+
 #include "placement/recovery.hpp"
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/obs.hpp"
+#include "sched/scheduler.hpp"
 
 namespace imc::placement {
 
@@ -18,61 +31,27 @@ recover_after_crash(const Placement& placement,
 {
     IMC_OBS_SPAN(span, "placement.recover");
     const int num_nodes = placement.num_nodes();
-    std::vector<char> is_dead(static_cast<std::size_t>(num_nodes), 0);
-    for (const sim::NodeId node : dead) {
+    for (const sim::NodeId node : dead)
         require(node >= 0 && node < num_nodes,
                 "recover_after_crash: dead node out of range");
-        is_dead[static_cast<std::size_t>(node)] = 1;
-    }
-
-    // Current occupancy per node (units, any instance).
-    std::vector<int> load(static_cast<std::size_t>(num_nodes), 0);
-    Placement repaired = placement;
-    const auto& instances = repaired.instances();
-    for (int i = 0; i < repaired.num_instances(); ++i) {
+    const auto& instances = placement.instances();
+    for (int i = 0; i < placement.num_instances(); ++i)
         for (int u = 0; u < instances[static_cast<std::size_t>(i)].units;
-             ++u) {
-            const sim::NodeId node = repaired.node_of(i, u);
-            require(node >= 0,
+             ++u)
+            require(placement.node_of(i, u) >= 0,
                     "recover_after_crash: placement not fully assigned");
-            ++load[static_cast<std::size_t>(node)];
-        }
-    }
 
-    // Greedy repair: move each displaced unit (in deterministic
-    // (instance, unit) order) to the least-loaded surviving node with
-    // a free slot that its instance does not already occupy; ties
-    // break to the lowest node id.
-    int moved = 0;
-    for (int i = 0; i < repaired.num_instances(); ++i) {
-        for (int u = 0; u < instances[static_cast<std::size_t>(i)].units;
-             ++u) {
-            const sim::NodeId from = repaired.node_of(i, u);
-            if (!is_dead[static_cast<std::size_t>(from)])
-                continue;
-            sim::NodeId best = -1;
-            for (sim::NodeId node = 0; node < num_nodes; ++node) {
-                if (is_dead[static_cast<std::size_t>(node)])
-                    continue;
-                if (load[static_cast<std::size_t>(node)] >=
-                    repaired.slots_per_node())
-                    continue;
-                if (repaired.occupies(i, node))
-                    continue;
-                if (best < 0 ||
-                    load[static_cast<std::size_t>(node)] <
-                        load[static_cast<std::size_t>(best)])
-                    best = node;
-            }
-            require(best >= 0,
-                    "recover_after_crash: surviving capacity cannot "
-                    "hold every displaced unit");
-            repaired.assign(i, u, best);
-            --load[static_cast<std::size_t>(from)];
-            ++load[static_cast<std::size_t>(best)];
-            ++moved;
-        }
-    }
+    // Adoption-mode core: no admission, no eviction, no polish — mark
+    // every dead node first, then one global greedy repair pass (the
+    // (instance, unit)-ordered, least-loaded-survivor move sequence).
+    sched::SchedOptions sopts;
+    sopts.allow_eviction = false;
+    sopts.polish_proposals = 0;
+    sched::SchedulerCore core(evaluator, placement, sopts);
+    for (const sim::NodeId node : dead)
+        core.mark_dead(node);
+    const int moved = core.repair_displaced();
+    Placement repaired = core.placement();
     invariant(repaired.valid(),
               "recover_after_crash: greedy repair left an invalid "
               "placement");

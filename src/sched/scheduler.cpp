@@ -1,0 +1,558 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+
+namespace imc::sched {
+
+SchedulerCore::SchedulerCore(placement::Evaluator& evaluator,
+                             int num_nodes, int slots_per_node,
+                             SchedOptions opts)
+    : dyn_eval_(&evaluator), eval_(evaluator),
+      scorer_(evaluator,
+              placement::Placement(std::vector<placement::Instance>{},
+                                   num_nodes, slots_per_node)),
+      opts_(opts), base_rng_(opts.seed),
+      alive_(static_cast<std::size_t>(num_nodes), 1),
+      load_(static_cast<std::size_t>(num_nodes), 0),
+      free_slots_(num_nodes * slots_per_node)
+{
+    require(evaluator.supports_dynamic(),
+            "SchedulerCore: evaluator must support dynamic "
+            "instance add/remove");
+    require(evaluator.supports_delta(),
+            "SchedulerCore: evaluator must support the delta path");
+    require(num_nodes >= 1, "SchedulerCore: need >= 1 node");
+    require(slots_per_node >= 1, "SchedulerCore: need >= 1 slot");
+    require(opts_.candidate_nodes >= 1,
+            "SchedulerCore: candidate_nodes must be >= 1");
+    require(opts_.polish_proposals >= 0,
+            "SchedulerCore: polish_proposals must be >= 0");
+}
+
+SchedulerCore::SchedulerCore(const placement::Evaluator& evaluator,
+                             placement::Placement placement,
+                             SchedOptions opts)
+    : dyn_eval_(nullptr), eval_(evaluator),
+      scorer_(evaluator, std::move(placement)), opts_(opts),
+      base_rng_(opts.seed)
+{
+    const placement::Placement& p = scorer_.placement();
+    alive_.assign(static_cast<std::size_t>(p.num_nodes()), 1);
+    load_.assign(static_cast<std::size_t>(p.num_nodes()), 0);
+    int total_units = 0;
+    for (int i = 0; i < p.num_instances(); ++i) {
+        // Adopted apps get their index as external id; nobody outside
+        // the recovery path ever sees these ids.
+        ids_.push_back(i);
+        slo_.push_back(0.0);
+        index_of_[i] = i;
+        const int units = p.instances()[static_cast<std::size_t>(i)].units;
+        total_units += units;
+        for (int u = 0; u < units; ++u)
+            ++load_[static_cast<std::size_t>(p.node_of(i, u))];
+    }
+    free_slots_ = p.num_nodes() * p.slots_per_node() - total_units;
+}
+
+Admission
+SchedulerCore::arrive(std::int64_t id, const workload::AppSpec& app,
+                      int units, double slo)
+{
+    ++event_seq_;
+    require(dyn_eval_ != nullptr,
+            "SchedulerCore::arrive: adoption-mode core cannot admit");
+    require(units >= 1, "SchedulerCore::arrive: need >= 1 unit");
+    require(units <= scorer_.placement().num_nodes(),
+            "SchedulerCore::arrive: more units than nodes");
+    require(index_of_.find(id) == index_of_.end(),
+            "SchedulerCore::arrive: duplicate app id " +
+                std::to_string(id));
+
+    Admission out;
+    if (IMC_FAULT_PROBE("sched.admit", "app#" + std::to_string(id), 0)
+            .fail) {
+        out.fault_rejected = true;
+        return out;
+    }
+
+    if (nodes_with_room() < units) {
+        // Admission control: only an SLO arrival may push best-effort
+        // work out of the cluster.
+        if (!opts_.allow_eviction || slo <= 0.0)
+            return out;
+        out.evicted = evict_until_room(units);
+        if (nodes_with_room() < units)
+            return out;
+    }
+
+    const placement::Instance inst{app, units};
+    // Evaluator leads, scorer follows: greedy insertion reads the
+    // newcomer's score and predict_instance() at its new index.
+    dyn_eval_->push_instance(inst);
+    const int new_index = num_apps();
+    const std::vector<sim::NodeId> chosen = choose_nodes(new_index, units);
+    scorer_.push_instance(inst, chosen);
+
+    ids_.push_back(id);
+    slo_.push_back(slo);
+    index_of_[id] = new_index;
+    for (sim::NodeId n : chosen)
+        ++load_[static_cast<std::size_t>(n)];
+    free_slots_ -= units;
+
+    out.admitted = true;
+    polish(chosen);
+    return out;
+}
+
+bool
+SchedulerCore::depart(std::int64_t id)
+{
+    ++event_seq_;
+    const auto it = index_of_.find(id);
+    if (it == index_of_.end())
+        return false;
+    require(dyn_eval_ != nullptr,
+            "SchedulerCore::depart: adoption-mode core cannot depart");
+    const std::vector<sim::NodeId> freed =
+        scorer_.nodes_sorted(it->second);
+    remove_index(it->second);
+    polish(freed);
+    return true;
+}
+
+RepairOutcome
+SchedulerCore::crash(sim::NodeId node)
+{
+    ++event_seq_;
+    require(node >= 0 && node < scorer_.placement().num_nodes(),
+            "SchedulerCore::crash: node out of range");
+    RepairOutcome out;
+    if (!alive_[static_cast<std::size_t>(node)])
+        return out; // crash of an already-dead node: nothing to do
+    mark_dead(node);
+    std::vector<sim::NodeId> dests;
+    out.moved_units = repair_displaced(&out.evicted, &dests);
+    polish(dests);
+    return out;
+}
+
+bool
+SchedulerCore::join(sim::NodeId node)
+{
+    ++event_seq_;
+    require(node >= 0 && node < scorer_.placement().num_nodes(),
+            "SchedulerCore::join: node out of range");
+    if (alive_[static_cast<std::size_t>(node)])
+        return false;
+    alive_[static_cast<std::size_t>(node)] = 1;
+    free_slots_ += scorer_.placement().slots_per_node() -
+                   load_[static_cast<std::size_t>(node)];
+    // The polish may rebalance pressured units onto the fresh node.
+    polish({node});
+    return true;
+}
+
+void
+SchedulerCore::mark_dead(sim::NodeId node)
+{
+    require(node >= 0 && node < scorer_.placement().num_nodes(),
+            "SchedulerCore::mark_dead: node out of range");
+    if (!alive_[static_cast<std::size_t>(node)])
+        return;
+    alive_[static_cast<std::size_t>(node)] = 0;
+    free_slots_ -= scorer_.placement().slots_per_node() -
+                   load_[static_cast<std::size_t>(node)];
+}
+
+int
+SchedulerCore::repair_displaced(std::vector<std::int64_t>* evicted,
+                                std::vector<sim::NodeId>* dests)
+{
+    const placement::Placement& p = scorer_.placement();
+    const int slots = p.slots_per_node();
+    std::vector<std::int64_t> vetoed;
+    int moved = 0;
+    for (;;) {
+        // First displaced unit in (instance, unit) order. Rescanning
+        // after every move/eviction keeps the order stable under the
+        // swap-with-last renumbering evictions cause.
+        int di = -1;
+        int du = -1;
+        for (int i = 0; i < p.num_instances() && di < 0; ++i) {
+            const int units =
+                p.instances()[static_cast<std::size_t>(i)].units;
+            for (int u = 0; u < units; ++u) {
+                if (!alive_[static_cast<std::size_t>(p.node_of(i, u))]) {
+                    di = i;
+                    du = u;
+                    break;
+                }
+            }
+        }
+        if (di < 0)
+            break;
+
+        // Least-loaded live node with a free slot the instance does
+        // not occupy; ascending scan + strict < ties to the lowest id.
+        sim::NodeId best = -1;
+        for (sim::NodeId n = 0; n < p.num_nodes(); ++n) {
+            if (!alive_[static_cast<std::size_t>(n)] ||
+                load_[static_cast<std::size_t>(n)] >= slots ||
+                p.occupies(di, n))
+                continue;
+            if (best < 0 || load_[static_cast<std::size_t>(n)] <
+                                load_[static_cast<std::size_t>(best)])
+                best = n;
+        }
+        if (best < 0) {
+            require(dyn_eval_ != nullptr && opts_.allow_eviction,
+                    "recover_after_crash: surviving capacity cannot "
+                    "hold every displaced unit");
+            // SLO-aware eviction: push best-effort work out to make
+            // room for the displaced unit (which may itself be the
+            // victim — that also resolves the displacement).
+            int victim = -1;
+            for (;;) {
+                victim = pick_victim(vetoed);
+                require(victim >= 0,
+                        "recover_after_crash: surviving capacity "
+                        "cannot hold every displaced unit");
+                const std::int64_t vid =
+                    ids_[static_cast<std::size_t>(victim)];
+                if (IMC_FAULT_PROBE("sched.evict",
+                                    "app#" + std::to_string(vid), 0)
+                        .fail) {
+                    vetoed.push_back(vid);
+                    continue;
+                }
+                if (evicted != nullptr)
+                    evicted->push_back(vid);
+                remove_index(victim);
+                break;
+            }
+            continue; // indices renumbered: rescan from the top
+        }
+
+        const sim::NodeId from = p.node_of(di, du);
+        scorer_.move_unit(di, du, best);
+        --load_[static_cast<std::size_t>(from)]; // dead: not a free slot
+        ++load_[static_cast<std::size_t>(best)];
+        --free_slots_;
+        ++moved;
+        if (dests != nullptr)
+            dests->push_back(best);
+    }
+    return moved;
+}
+
+double
+SchedulerCore::objective() const
+{
+    const std::vector<double>& times = scorer_.times();
+    const auto& instances = scorer_.placement().instances();
+    double debt = 0.0;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        const double slo = slo_[i];
+        if (slo > 0.0 && times[i] > slo)
+            debt += instances[i].units * (times[i] - slo);
+    }
+    return scorer_.total_time() + opts_.slo_penalty * debt;
+}
+
+std::int64_t
+SchedulerCore::id_at(int index) const
+{
+    return ids_.at(static_cast<std::size_t>(index));
+}
+
+double
+SchedulerCore::slo_at(int index) const
+{
+    return slo_.at(static_cast<std::size_t>(index));
+}
+
+int
+SchedulerCore::index_of(std::int64_t id) const
+{
+    const auto it = index_of_.find(id);
+    return it == index_of_.end() ? -1 : it->second;
+}
+
+bool
+SchedulerCore::node_alive(sim::NodeId node) const
+{
+    return alive_.at(static_cast<std::size_t>(node)) != 0;
+}
+
+int
+SchedulerCore::load_of(sim::NodeId node) const
+{
+    return load_.at(static_cast<std::size_t>(node));
+}
+
+void
+SchedulerCore::remove_index(int index)
+{
+    invariant(dyn_eval_ != nullptr,
+              "SchedulerCore::remove_index: adoption-mode core");
+    const std::vector<sim::NodeId> freed = scorer_.nodes_sorted(index);
+    // Evaluator leads, scorer follows (the pop order the scorer's
+    // rescoring relies on).
+    dyn_eval_->pop_instance_swap(index);
+    scorer_.remove_instance_swap(index);
+
+    index_of_.erase(ids_[static_cast<std::size_t>(index)]);
+    const std::size_t last = ids_.size() - 1;
+    if (static_cast<std::size_t>(index) != last) {
+        ids_[static_cast<std::size_t>(index)] = ids_[last];
+        slo_[static_cast<std::size_t>(index)] = slo_[last];
+        index_of_[ids_[static_cast<std::size_t>(index)]] = index;
+    }
+    ids_.pop_back();
+    slo_.pop_back();
+
+    for (sim::NodeId n : freed) {
+        --load_[static_cast<std::size_t>(n)];
+        // A victim evicted mid-repair may still hold a unit on a dead
+        // node; that unit's slot does not return to the live pool.
+        if (alive_[static_cast<std::size_t>(n)])
+            ++free_slots_;
+    }
+}
+
+int
+SchedulerCore::pick_victim(const std::vector<std::int64_t>& vetoed) const
+{
+    const std::vector<double>& times = scorer_.times();
+    int victim = -1;
+    for (int i = 0; i < num_apps(); ++i) {
+        if (slo_[static_cast<std::size_t>(i)] > 0.0)
+            continue; // SLO apps are never evicted
+        if (std::find(vetoed.begin(), vetoed.end(),
+                      ids_[static_cast<std::size_t>(i)]) != vetoed.end())
+            continue;
+        if (victim < 0 ||
+            times[static_cast<std::size_t>(i)] >
+                times[static_cast<std::size_t>(victim)] ||
+            (times[static_cast<std::size_t>(i)] ==
+                 times[static_cast<std::size_t>(victim)] &&
+             ids_[static_cast<std::size_t>(i)] <
+                 ids_[static_cast<std::size_t>(victim)]))
+            victim = i;
+    }
+    return victim;
+}
+
+std::vector<std::int64_t>
+SchedulerCore::evict_until_room(int units)
+{
+    std::vector<std::int64_t> evicted;
+    std::vector<std::int64_t> vetoed;
+    while (nodes_with_room() < units) {
+        const int victim = pick_victim(vetoed);
+        if (victim < 0)
+            break;
+        const std::int64_t vid = ids_[static_cast<std::size_t>(victim)];
+        if (IMC_FAULT_PROBE("sched.evict", "app#" + std::to_string(vid),
+                            0)
+                .fail) {
+            vetoed.push_back(vid);
+            continue;
+        }
+        remove_index(victim);
+        evicted.push_back(vid);
+    }
+    return evicted;
+}
+
+int
+SchedulerCore::nodes_with_room() const
+{
+    const int slots = scorer_.placement().slots_per_node();
+    int n = 0;
+    for (std::size_t i = 0; i < alive_.size(); ++i)
+        if (alive_[i] && load_[i] < slots)
+            ++n;
+    return n;
+}
+
+std::vector<sim::NodeId>
+SchedulerCore::choose_nodes(int new_index, int units)
+{
+    const placement::Placement& p = scorer_.placement();
+    const int slots = p.slots_per_node();
+    const double new_score =
+        eval_.scores().at(static_cast<std::size_t>(new_index));
+
+    std::vector<sim::NodeId> chosen;
+    chosen.reserve(static_cast<std::size_t>(units));
+    std::vector<char> taken(static_cast<std::size_t>(p.num_nodes()), 0);
+    // Pressures the newcomer sees on its chosen nodes, aligned with
+    // `chosen` (unsorted); rebuilt into node order per candidate.
+    std::vector<double> own_pressures;
+    std::vector<sim::NodeId> candidates;
+    std::vector<double> scratch;
+
+    for (int u = 0; u < units; ++u) {
+        candidates.clear();
+        for (sim::NodeId n = 0; n < p.num_nodes(); ++n) {
+            if (alive_[static_cast<std::size_t>(n)] &&
+                load_[static_cast<std::size_t>(n)] < slots &&
+                !taken[static_cast<std::size_t>(n)])
+                candidates.push_back(n);
+        }
+        invariant(!candidates.empty(),
+                  "choose_nodes: admission let an unplaceable app in");
+
+        // Cheap ranking: lowest newcomer pressure, then lowest load,
+        // then lowest id — only the top candidates get the exact
+        // marginal-cost evaluation.
+        const std::size_t keep = std::min(
+            candidates.size(),
+            static_cast<std::size_t>(opts_.candidate_nodes));
+        std::partial_sort(
+            candidates.begin(),
+            candidates.begin() + static_cast<std::ptrdiff_t>(keep),
+            candidates.end(), [&](sim::NodeId a, sim::NodeId b) {
+                const double pa = scorer_.newcomer_pressure(a);
+                const double pb = scorer_.newcomer_pressure(b);
+                if (pa != pb)
+                    return pa < pb;
+                if (load_[static_cast<std::size_t>(a)] !=
+                    load_[static_cast<std::size_t>(b)])
+                    return load_[static_cast<std::size_t>(a)] <
+                           load_[static_cast<std::size_t>(b)];
+                return a < b;
+            });
+        candidates.resize(keep);
+
+        sim::NodeId best = -1;
+        double best_cost = 0.0;
+        for (sim::NodeId n : candidates) {
+            // Exact marginal cost of placing this unit on n:
+            // co-tenants on n each gain the newcomer's score in the
+            // slot of node n of their pressure list (the newcomer has
+            // the largest index, so "+ new_score" is bit-identical to
+            // the ascending-order recombination a rescore would do)...
+            double cost = 0.0;
+            for (int t : scorer_.tenants_on(n)) {
+                const std::vector<sim::NodeId>& tnodes =
+                    scorer_.nodes_sorted(t);
+                const std::size_t k = static_cast<std::size_t>(
+                    std::lower_bound(tnodes.begin(), tnodes.end(), n) -
+                    tnodes.begin());
+                scratch = scorer_.pressure_list(t);
+                scratch[k] += new_score;
+                const double after = eval_.predict_instance(t, scratch);
+                cost +=
+                    p.instances()[static_cast<std::size_t>(t)].units *
+                    (after - scorer_.time_of(t));
+            }
+            // ... and the newcomer itself pays its predicted time
+            // under the pressures of the nodes picked so far plus n,
+            // zero-padded for units not yet placed (optimistic: the
+            // remaining units may land on idle nodes).
+            scratch.assign(static_cast<std::size_t>(units), 0.0);
+            std::vector<std::pair<sim::NodeId, double>> own;
+            own.reserve(chosen.size() + 1);
+            for (std::size_t i = 0; i < chosen.size(); ++i)
+                own.emplace_back(chosen[i], own_pressures[i]);
+            own.emplace_back(n, scorer_.newcomer_pressure(n));
+            std::sort(own.begin(), own.end());
+            for (std::size_t i = 0; i < own.size(); ++i)
+                scratch[i] = own[i].second;
+            cost += units * eval_.predict_instance(new_index, scratch);
+
+            if (best < 0 || cost < best_cost) {
+                best = n;
+                best_cost = cost;
+            }
+        }
+
+        chosen.push_back(best);
+        own_pressures.push_back(scorer_.newcomer_pressure(best));
+        taken[static_cast<std::size_t>(best)] = 1;
+    }
+    return chosen;
+}
+
+void
+SchedulerCore::polish(const std::vector<sim::NodeId>& dirty)
+{
+    if (opts_.polish_proposals <= 0 || num_apps() < 1)
+        return;
+    const placement::Placement& p = scorer_.placement();
+    const int slots = p.slots_per_node();
+    // One stream per event index: byte-identical replays regardless
+    // of wall-clock, thread count, or earlier polish outcomes.
+    Rng rng = base_rng_.fork("polish").fork(event_seq_);
+    double cur = objective();
+    for (int i = 0; i < opts_.polish_proposals; ++i) {
+        if (!dirty.empty() && rng.bernoulli(0.5)) {
+            // Swap a unit on a dirty node with a random other unit.
+            const sim::NodeId dn =
+                dirty[rng.uniform_index(dirty.size())];
+            const std::vector<int>& tenants = scorer_.tenants_on(dn);
+            if (tenants.empty())
+                continue;
+            const int a = tenants[rng.uniform_index(tenants.size())];
+            int ua = -1;
+            const int a_units =
+                p.instances()[static_cast<std::size_t>(a)].units;
+            for (int u = 0; u < a_units; ++u) {
+                if (p.node_of(a, u) == dn) {
+                    ua = u;
+                    break;
+                }
+            }
+            const int b = static_cast<int>(
+                rng.uniform_index(static_cast<std::uint64_t>(num_apps())));
+            const int b_units =
+                p.instances()[static_cast<std::size_t>(b)].units;
+            const int ub = static_cast<int>(rng.uniform_index(
+                static_cast<std::uint64_t>(b_units)));
+            if (!p.swap_is_valid(a, ua, b, ub))
+                continue;
+            scorer_.apply({a, ua, b, ub});
+            const double next = objective();
+            if (next < cur)
+                cur = next; // loads are unchanged by a swap
+            else
+                scorer_.undo();
+        } else {
+            // Move a random unit to a random live node with room.
+            const int a = static_cast<int>(
+                rng.uniform_index(static_cast<std::uint64_t>(num_apps())));
+            const int a_units =
+                p.instances()[static_cast<std::size_t>(a)].units;
+            const int ua = static_cast<int>(rng.uniform_index(
+                static_cast<std::uint64_t>(a_units)));
+            const sim::NodeId from = p.node_of(a, ua);
+            const sim::NodeId to =
+                static_cast<sim::NodeId>(rng.uniform_index(
+                    static_cast<std::uint64_t>(p.num_nodes())));
+            if (to == from || !alive_[static_cast<std::size_t>(to)] ||
+                load_[static_cast<std::size_t>(to)] >= slots ||
+                p.occupies(a, to))
+                continue;
+            scorer_.move_unit(a, ua, to);
+            const double next = objective();
+            if (next < cur) {
+                cur = next;
+                --load_[static_cast<std::size_t>(from)];
+                ++load_[static_cast<std::size_t>(to)];
+                // from and to are both live here, so the free-slot
+                // total is unchanged.
+            } else {
+                scorer_.undo();
+            }
+        }
+    }
+}
+
+} // namespace imc::sched

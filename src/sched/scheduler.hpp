@@ -1,0 +1,257 @@
+#ifndef IMC_SCHED_SCHEDULER_HPP
+#define IMC_SCHED_SCHEDULER_HPP
+
+/**
+ * @file
+ * The event-driven incremental scheduler core ("imcd").
+ *
+ * A SchedulerCore maintains a near-optimal interference-aware
+ * placement under a stream of events instead of a one-shot batch
+ * anneal: app arrivals are admitted against node capacity and placed
+ * greedily through the DeltaScorer's exact marginal costs, departures
+ * free their nodes, node crashes trigger the greedy repair that
+ * placement::recover_after_crash exposes for the batch pipeline (that
+ * entry point is now a thin client of this class), and node joins
+ * revive capacity. After every placement-changing event a *bounded*
+ * re-optimization polishes the dirty neighborhood: a fixed number of
+ * seeded hill-climb proposals (unit swaps and moves touching the
+ * dirtied nodes), never a wall-clock budget — the proposal budget is
+ * what keeps replays byte-identical across machines and thread
+ * counts while still bounding per-event latency (see DESIGN.md §8).
+ *
+ * SLO handling: an app may carry a maximum acceptable normalized
+ * execution time (slo <= 0 = best-effort). The polish objective adds
+ * slo_penalty per unit of weighted SLO violation, and when admission
+ * or crash repair runs out of capacity the core may evict best-effort
+ * apps (never SLO apps) to make room — SLO-aware eviction.
+ *
+ * Fault sites: "sched.admit" (key "app#<id>") fail-rejects an
+ * arrival; "sched.evict" (key "app#<victim id>") vetoes one eviction
+ * candidate. Both are deterministic under an armed schedule.
+ *
+ * Index discipline: instances are dense [0, num_apps) indices mapped
+ * to stable external int64 ids; removal renumbers by swap-with-last
+ * (the Placement/Evaluator/DeltaScorer *_swap ops), so every layer's
+ * index i always refers to the same app.
+ */
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "placement/delta_scorer.hpp"
+#include "placement/evaluator.hpp"
+
+namespace imc::sched {
+
+/** Scheduler knobs. */
+struct SchedOptions {
+    /**
+     * Greedy insertion: how many pressure-ranked candidate nodes get
+     * an exact marginal-cost evaluation per unit placed.
+     */
+    int candidate_nodes = 16;
+    /**
+     * Bounded re-optimization: hill-climb proposals per
+     * placement-changing event (0 disables the polish). A proposal
+     * budget, not a time budget — determinism requires it.
+     */
+    int polish_proposals = 128;
+    /** Objective weight per unit of weighted SLO violation. */
+    double slo_penalty = 100.0;
+    /** Seed of the polish proposal stream. */
+    std::uint64_t seed = 1;
+    /** Allow evicting best-effort apps when capacity runs out. */
+    bool allow_eviction = true;
+};
+
+/** Outcome of one arrival. */
+struct Admission {
+    /** The app is now placed. */
+    bool admitted = false;
+    /** Rejected by an armed "sched.admit" fault (counts as refusal). */
+    bool fault_rejected = false;
+    /** Best-effort apps evicted to make room, in eviction order. */
+    std::vector<std::int64_t> evicted;
+};
+
+/** Outcome of one crash event. */
+struct RepairOutcome {
+    /** Units the greedy repair moved off dead nodes. */
+    int moved_units = 0;
+    /** Best-effort apps evicted to make room, in eviction order. */
+    std::vector<std::int64_t> evicted;
+};
+
+/** The event-driven incremental placement scheduler. */
+class SchedulerCore {
+  public:
+    /**
+     * An empty scheduler over an idle cluster (dynamic mode).
+     *
+     * @param evaluator predictor; must support the delta and dynamic
+     *        paths (ModelEvaluator / NaiveEvaluator do). Outlives the
+     *        core. The core pushes/pops instances on it as apps come
+     *        and go — do not share it with another consumer that
+     *        assumes a fixed app list.
+     */
+    SchedulerCore(placement::Evaluator& evaluator, int num_nodes,
+                  int slots_per_node, SchedOptions opts);
+
+    /**
+     * Adopt an existing placement (adoption mode): used by
+     * placement::recover_after_crash to run crash repair over a batch
+     * placement. arrive()/depart() and eviction are unavailable (the
+     * evaluator is const and its app list fixed); mark_dead() +
+     * repair_displaced() are the supported operations.
+     */
+    SchedulerCore(const placement::Evaluator& evaluator,
+                  placement::Placement placement, SchedOptions opts);
+
+    // --- Events --------------------------------------------------------
+
+    /**
+     * App arrival: admission control, SLO-aware eviction if capacity
+     * is short, greedy insertion, bounded polish.
+     *
+     * @param id    external identity; must be new
+     * @param app   spec to place
+     * @param units distinct nodes requested (>= 1)
+     * @param slo   max acceptable normalized time; <= 0 best-effort
+     */
+    Admission arrive(std::int64_t id, const workload::AppSpec& app,
+                     int units, double slo);
+
+    /**
+     * App departure; unknown ids are tolerated (a trace may depart an
+     * app whose arrival was rejected).
+     *
+     * @return true when the app was present and removed
+     */
+    bool depart(std::int64_t id);
+
+    /** Node crash: mark dead, repair displaced units, polish. */
+    RepairOutcome crash(sim::NodeId node);
+
+    /** Node (re)join. @return false when the node was already alive */
+    bool join(sim::NodeId node);
+
+    // --- Adoption-mode repair primitives -------------------------------
+
+    /** Mark a node dead without repairing (batch multi-node crash). */
+    void mark_dead(sim::NodeId node);
+
+    /**
+     * Move every unit on a dead node, in (instance, unit) order, to
+     * the least-loaded live node with a free slot that the instance
+     * does not occupy (ties to the lowest node id) — exactly the
+     * greedy repair recover_after_crash always performed. In dynamic
+     * mode with allow_eviction, best-effort apps are evicted when the
+     * survivors cannot hold a displaced unit.
+     *
+     * @param evicted when non-null, receives evicted app ids
+     * @param dests   when non-null, receives the destination node of
+     *                every moved unit (the dirty set a polish wants)
+     * @throws ConfigError when surviving capacity cannot hold every
+     *         displaced unit (after any permitted evictions)
+     */
+    int repair_displaced(std::vector<std::int64_t>* evicted = nullptr,
+                         std::vector<sim::NodeId>* dests = nullptr);
+
+    // --- State ---------------------------------------------------------
+
+    /** The maintained placement (valid; never uses dead nodes). */
+    const placement::Placement& placement() const
+    {
+        return scorer_.placement();
+    }
+
+    /** Per-instance predicted normalized times (index-aligned). */
+    const std::vector<double>& times() const { return scorer_.times(); }
+
+    /** VM-weighted total normalized time of the current placement. */
+    double total_time() const { return scorer_.total_time(); }
+
+    /**
+     * The polished objective: total_time() plus slo_penalty times the
+     * unit-weighted sum of SLO violations, accumulated in instance
+     * order (deterministic).
+     */
+    double objective() const;
+
+    /** Number of placed apps. */
+    int num_apps() const
+    {
+        return scorer_.placement().num_instances();
+    }
+
+    /** External id of instance index @p index. */
+    std::int64_t id_at(int index) const;
+
+    /** SLO of instance index @p index (<= 0 = best-effort). */
+    double slo_at(int index) const;
+
+    /** Instance index of @p id, or -1. */
+    int index_of(std::int64_t id) const;
+
+    /** True while @p node accepts units. */
+    bool node_alive(sim::NodeId node) const;
+
+    /** Units currently assigned to @p node. */
+    int load_of(sim::NodeId node) const;
+
+    /** Free slots summed over live nodes. */
+    int free_slots() const { return free_slots_; }
+
+    /** Events processed so far (the polish stream index). */
+    std::uint64_t events_seen() const { return event_seq_; }
+
+  private:
+    /** Remove instance @p index (swap-with-last bookkeeping). */
+    void remove_index(int index);
+
+    /**
+     * Pick the next eviction victim: best-effort apps only, worst
+     * predicted time first, ties to the lowest id; indices in
+     * @p vetoed are skipped. -1 when none remain.
+     */
+    int pick_victim(const std::vector<std::int64_t>& vetoed) const;
+
+    /**
+     * Evict victims (with "sched.evict" probes) until at least
+     * @p units live nodes have a free slot. Returns evicted ids in
+     * order; stops early when out of victims, so the caller must
+     * re-check feasibility. Evictions taken before a failed admission
+     * stand — the manager kills best-effort work optimistically, like
+     * its production counterparts.
+     */
+    std::vector<std::int64_t> evict_until_room(int units);
+
+    /** Live nodes with at least one free slot. */
+    int nodes_with_room() const;
+
+    /** Greedy insertion node choice for one arriving app. */
+    std::vector<sim::NodeId> choose_nodes(int new_index, int units);
+
+    /** Bounded hill-climb over the dirty neighborhood. */
+    void polish(const std::vector<sim::NodeId>& dirty);
+
+    placement::Evaluator* dyn_eval_ = nullptr; // null in adoption mode
+    const placement::Evaluator& eval_;
+    placement::DeltaScorer scorer_;
+    SchedOptions opts_;
+    Rng base_rng_;
+    std::uint64_t event_seq_ = 0;
+
+    std::vector<std::int64_t> ids_;  // index -> external id
+    std::vector<double> slo_;        // index -> SLO
+    std::map<std::int64_t, int> index_of_;
+    std::vector<char> alive_;        // node -> accepts units
+    std::vector<int> load_;          // node -> assigned units
+    int free_slots_ = 0;             // sum over live nodes
+};
+
+} // namespace imc::sched
+
+#endif // IMC_SCHED_SCHEDULER_HPP

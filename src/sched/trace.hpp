@@ -1,0 +1,130 @@
+#ifndef IMC_SCHED_TRACE_HPP
+#define IMC_SCHED_TRACE_HPP
+
+/**
+ * @file
+ * Replayable scheduler event traces (imc-trace v1).
+ *
+ * A trace is the scheduler's entire input: the cluster shape plus a
+ * time-ordered stream of app arrivals (with spec and SLO), app
+ * departures, node crashes, and node (re)joins. Replaying the same
+ * trace through SchedulerCore always yields the same decisions — the
+ * trace is the reproducibility unit of every serve/bench/chaos run.
+ *
+ * Text format, line-oriented like core/serialize.cpp, whitespace
+ * separated, '#' comments and blank lines ignored:
+ *
+ *     imc-trace v1
+ *     cluster <nodes> <slots_per_node>
+ *     arrive <t> <id> <app-abbrev> <units> <slo>
+ *     depart <t> <id>
+ *     crash <t> <node>
+ *     join <t> <node>
+ *     end
+ *
+ * Times are seconds (doubles, written with 17 significant digits so a
+ * parse/serialize round trip is byte-exact), non-decreasing. <id> is
+ * the app's external identity: unique across arrivals; a depart must
+ * name a previously arrived id. <slo> is the maximum acceptable
+ * normalized execution time (<= 0 means best-effort). <app-abbrev> is
+ * a workload::catalog() abbreviation (e.g. "M.lmps"). Parsing is
+ * strict: bad magic, unknown keywords, trailing garbage on any line,
+ * missing 'end', or content after 'end' are ConfigErrors.
+ *
+ * generate() produces seeded synthetic traces: Poisson arrivals,
+ * lognormal lifetimes, a mixed archetype pool, uniform SLO targets on
+ * a configurable fraction of apps, and an optional node crash/repair
+ * process. Generation is a pure function of its options.
+ */
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "workload/app_spec.hpp"
+
+namespace imc::sched {
+
+/** What happened at one trace timestamp. */
+enum class EventKind { kArrive, kDepart, kCrash, kJoin };
+
+/** One scheduler input event. */
+struct TraceEvent {
+    EventKind kind = EventKind::kArrive;
+    /** Event time in seconds (non-decreasing along the trace). */
+    double time = 0.0;
+    /** App identity (arrive/depart). */
+    std::int64_t id = 0;
+    /** Catalog abbreviation (arrive only). */
+    std::string app;
+    /** Units requested (arrive only). */
+    int units = 0;
+    /** Max acceptable normalized time; <= 0 = best-effort (arrive). */
+    double slo = 0.0;
+    /** Node (crash/join only). */
+    sim::NodeId node = -1;
+};
+
+/** A full replayable scheduler input. */
+struct Trace {
+    int num_nodes = 0;
+    int slots_per_node = 2;
+    std::vector<TraceEvent> events;
+};
+
+/** Serialize to the imc-trace v1 text format (round-trip exact). */
+std::string serialize_trace(const Trace& trace);
+
+/**
+ * Parse an imc-trace v1 stream, strictly.
+ *
+ * @throws ConfigError on any malformed or inconsistent input
+ */
+Trace parse_trace(std::istream& is);
+
+/** Parse a trace file. @throws ConfigError (incl. unopenable file) */
+Trace load_trace_file(const std::string& path);
+
+/** Write a trace file. @throws ConfigError when the write fails */
+void save_trace_file(const std::string& path, const Trace& trace);
+
+/** Knobs of the synthetic trace generator. */
+struct TraceGenOptions {
+    int num_nodes = 100;
+    int slots_per_node = 2;
+    /** Trace horizon in seconds. */
+    double duration = 1000.0;
+    /** Poisson app arrival rate (apps per second). */
+    double arrival_rate = 1.0;
+    /** Mean app lifetime in seconds (lognormal, unit-median factor). */
+    double mean_lifetime = 200.0;
+    /** Sigma of the lognormal lifetime factor. */
+    double lifetime_sigma = 0.8;
+    /** Units per app drawn uniformly from [1, max_units]. */
+    int max_units = 4;
+    /** Fraction of apps that carry an SLO (uniform in [1.15, 1.6]). */
+    double slo_fraction = 0.3;
+    /** Poisson node crash rate (crashes per second); 0 disables. */
+    double crash_rate = 0.0;
+    /** Mean node repair time before the join (lognormal, sigma 0.5). */
+    double mean_repair = 100.0;
+    /** Master seed; generation is a pure function of these options. */
+    std::uint64_t seed = 1;
+    /**
+     * Archetype pool arrivals draw from uniformly. Empty selects the
+     * default mixed pool (2 BSP + 2 task-pool + 2 batch catalog apps).
+     */
+    std::vector<workload::AppSpec> apps;
+};
+
+/** The default mixed archetype pool (see TraceGenOptions::apps). */
+std::vector<workload::AppSpec> default_trace_apps();
+
+/** Generate a seeded synthetic trace. */
+Trace generate_trace(const TraceGenOptions& opts);
+
+} // namespace imc::sched
+
+#endif // IMC_SCHED_TRACE_HPP

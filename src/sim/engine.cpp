@@ -170,6 +170,31 @@ Simulation::proc_busy(ProcId pid) const
 }
 
 void
+Simulation::abort_proc(ProcId pid)
+{
+    const auto pi = static_cast<std::size_t>(pid);
+    require(pi < proc_tenant_.size(), "abort_proc: no such proc");
+    if (!proc_busy_[pi])
+        return;
+    // Same per-proc discipline as crash_node: settle for consistent
+    // accounting, cancel the completion, drop the callback — the
+    // in-flight work is abandoned, not finished.
+    settle(pi);
+    queue_->cancel(proc_event_[pi]);
+    proc_busy_[pi] = 0;
+    proc_remaining_[pi] = 0.0;
+    proc_done_[pi] = nullptr;
+}
+
+bool
+Simulation::tenant_live(TenantId t) const
+{
+    const auto ti = static_cast<std::size_t>(t);
+    require(ti < tenant_live_.size(), "tenant_live: no such tenant");
+    return tenant_live_[ti] != 0;
+}
+
+void
 Simulation::begin_resolve_batch()
 {
     ++batch_depth_;

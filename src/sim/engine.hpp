@@ -151,6 +151,18 @@ class Simulation {
     /** True while the proc has an unfinished compute in flight. */
     bool proc_busy(ProcId p) const;
 
+    /**
+     * Abandon a proc's in-flight computation, if any: the work is
+     * settled, the completion event cancelled, and the done callback
+     * dropped — the per-proc half of crash_node, exposed so a
+     * scheduler can detach a running app mid-simulation without
+     * killing its nodes. Idle procs are a no-op.
+     */
+    void abort_proc(ProcId p);
+
+    /** True while a tenant is registered and its node is up. */
+    bool tenant_live(TenantId t) const;
+
     // --- Batched re-solves ---------------------------------------------
 
     /**

@@ -74,8 +74,27 @@ RunningApp::register_tenants()
 }
 
 void
+RunningApp::detach()
+{
+    if (done_ || detached_)
+        return;
+    detached_ = true;
+    halt_procs();
+    // Crashed nodes already killed their tenants; remove the rest in
+    // one resolve batch so co-runners see a single contention change.
+    const sim::ResolveBatch batch(sim_);
+    for (sim::TenantId t : tenants_) {
+        if (sim_.tenant_live(t))
+            sim_.remove_tenant(t);
+    }
+    tenants_.clear();
+}
+
+void
 RunningApp::proc_finished()
 {
+    if (detached_)
+        return; // dormant callbacks after detach are no-ops
     invariant(finished_procs_ < total_procs_,
               "proc_finished: too many completions");
     ++finished_procs_;

@@ -56,6 +56,19 @@ class RunningApp {
     /** True once the application has completed. */
     bool done() const { return done_; }
 
+    /** True once detach() has been called (and the app wasn't done). */
+    bool detached() const { return detached_; }
+
+    /**
+     * Withdraw the application from the simulation mid-run: every
+     * in-flight computation is abandoned (Simulation::abort_proc),
+     * every still-live tenant removed, and on_complete never fires.
+     * Driver callbacks already queued (barrier releases, task grants)
+     * become no-ops. The scheduler uses this to execute departures and
+     * evictions mid-simulation. Idempotent; a no-op once done().
+     */
+    void detach();
+
     /**
      * Completion time metric in simulated seconds.
      *
@@ -88,6 +101,12 @@ class RunningApp {
     /** Record one process finish; finalizes the app after the last. */
     void proc_finished();
 
+    /**
+     * Abort every proc this driver owns (detach() template hook; the
+     * base class doesn't know the driver's proc ids).
+     */
+    virtual void halt_procs() = 0;
+
     sim::Simulation& sim_;
     AppSpec spec_;
     LaunchOptions opts_;
@@ -96,6 +115,7 @@ class RunningApp {
     int finished_procs_ = 0;
     double finish_metric_sum_ = 0.0;
     bool done_ = false;
+    bool detached_ = false;
     double finish_time_ = -1.0;
 
   private:

@@ -28,8 +28,17 @@ BatchApp::BatchApp(sim::Simulation& sim, AppSpec spec, LaunchOptions opts)
 }
 
 void
+BatchApp::halt_procs()
+{
+    for (const auto& inst : instances_)
+        sim_.abort_proc(inst.proc);
+}
+
+void
 BatchApp::step(std::size_t idx)
 {
+    if (detached())
+        return;
     auto& inst = instances_[idx];
     if (inst.segments_left == 0) {
         proc_finished();

@@ -34,6 +34,8 @@ class BatchApp : public RunningApp {
     /** Run the next segment (or finish) of one instance. */
     void step(std::size_t idx);
 
+    void halt_procs() override;
+
     std::vector<InstanceState> instances_;
 };
 

@@ -33,8 +33,17 @@ BspApp::BspApp(sim::Simulation& sim, AppSpec spec, LaunchOptions opts)
 }
 
 void
+BspApp::halt_procs()
+{
+    for (const auto& ps : procs_)
+        sim_.abort_proc(ps.proc);
+}
+
+void
 BspApp::step(std::size_t idx)
 {
+    if (detached())
+        return; // a barrier release may fire after detach
     auto& ps = procs_[idx];
     if (ps.iter >= spec_.bsp.iterations) {
         proc_finished();
@@ -69,6 +78,8 @@ BspApp::step(std::size_t idx)
 void
 BspApp::segment_done(std::size_t idx)
 {
+    if (detached())
+        return;
     auto& ps = procs_[idx];
     ++ps.iter;
     ++ps.since_collective;

@@ -41,6 +41,8 @@ class BspApp : public RunningApp {
     /** Compute-segment completion: barrier or next iteration. */
     void segment_done(std::size_t idx);
 
+    void halt_procs() override;
+
     sim::Barrier barrier_;
     std::vector<ProcState> procs_;
     /** Seed of the node-correlated per-iteration noise stream. */

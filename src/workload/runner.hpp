@@ -122,6 +122,19 @@ class RestartingApp {
     /** Stop relaunching (the current run, if any, completes). */
     void stop() { stopped_ = true; }
 
+    /**
+     * Stop relaunching AND withdraw the current run mid-flight
+     * (RunningApp::detach): tenants leave, in-flight work is
+     * abandoned. Used by the scheduler to execute departures and
+     * evictions.
+     */
+    void detach()
+    {
+        stopped_ = true;
+        if (current_)
+            current_->detach();
+    }
+
     /** Completion time of the first finished run, or -1. */
     double first_finish_time() const { return first_finish_; }
 

@@ -71,9 +71,20 @@ TaskPoolApp::TaskPoolApp(sim::Simulation& sim, AppSpec spec,
 }
 
 void
+TaskPoolApp::halt_procs()
+{
+    for (const auto& w : workers_)
+        sim_.abort_proc(w.proc);
+}
+
+void
 TaskPoolApp::pull(std::size_t idx)
 {
+    if (detached())
+        return;
     pool_.request([this, idx](sim::TaskPool::Grant grant) {
+        if (detached())
+            return; // a grant may arrive after detach
         if (grant.finished) {
             proc_finished();
             return;

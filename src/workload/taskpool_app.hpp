@@ -39,6 +39,8 @@ class TaskPoolApp : public RunningApp {
     /** Worker loop: request -> compute -> complete -> request. */
     void pull(std::size_t idx);
 
+    void halt_procs() override;
+
     sim::TaskPool pool_;
     std::vector<WorkerState> workers_;
 };

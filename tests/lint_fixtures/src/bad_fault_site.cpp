@@ -1,0 +1,12 @@
+// Fixture: fault-site violations. Expected:
+//   line 10: unknown fault site "sched.frobnicate"
+//   line 11: non-literal site expression
+// Line 9 probes a registered site and is fine. (Fixtures are lexed,
+// never compiled, so the IMC_FAULT_PROBE macro needs no definition.)
+const char* dynamic_site();
+void probe_some_sites(int id)
+{
+    IMC_FAULT_PROBE("sched.admit", "app#1", 0);
+    IMC_FAULT_PROBE("sched.frobnicate", "app#2", 0);
+    IMC_FAULT_PROBE(dynamic_site(), "k", id);
+}

@@ -146,6 +146,22 @@ TEST(ImcLintRules, FaultGateOnlyInLibraryCode)
         lint_content("src/common/fault.cpp", content).empty());
 }
 
+TEST(ImcLintRules, FaultSiteMustBeARegisteredLiteral)
+{
+    const std::string content = fixture("src/bad_fault_site.cpp");
+    const auto in_src = lint_content("src/bad_fault_site.cpp", content);
+    EXPECT_EQ(findings(in_src),
+              (Want{{"fault-site", 10}, {"fault-site", 11}}));
+    // The rule follows the probe macro everywhere it can appear —
+    // tests included — but never inside the defining header (which
+    // spells the forwarded macro arguments as identifiers).
+    EXPECT_EQ(
+        lint_content("tests/bad_fault_site.cpp", content).size(), 2u);
+    for (const Diagnostic& d :
+         lint_content("src/common/fault.hpp", content))
+        EXPECT_NE(d.rule, "fault-site");
+}
+
 TEST(ImcLintSuppression, JustifiedSilencesUnjustifiedDoesNot)
 {
     const auto diags = lint_content("src/suppressed.cpp",
@@ -195,7 +211,7 @@ TEST(ImcLintMeta, EveryEmittedRuleIsDocumented)
           "src/bad_new_delete.cpp", "src/bad_config_error.cpp",
           "src/bad_guard.hpp", "src/bad_include_order.cpp",
           "src/bad_obs.cpp", "src/bad_fault.cpp",
-          "src/suppressed.cpp"}) {
+          "src/bad_fault_site.cpp", "src/suppressed.cpp"}) {
         for (const Diagnostic& d : lint_content(f, fixture(f)))
             EXPECT_EQ(desc.count(d.rule), 1u)
                 << "undocumented rule " << d.rule;

@@ -27,6 +27,10 @@
  *  - fault-gate              fault probes only via IMC_FAULT_*
  *                            macros (keeps IMC_FAULT_DISABLED
  *                            zero-cost)
+ *  - fault-site              IMC_FAULT_PROBE sites must be string
+ *                            literals from the registered site table
+ *                            (src/common/fault.hpp) so chaos
+ *                            schedules never silently miss a probe
  *  - lint-suppression        suppressions must parse, name a known
  *                            rule, and carry a justification
  *

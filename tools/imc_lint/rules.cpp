@@ -462,6 +462,42 @@ rule_fault_gate(const FileContext& ctx, std::vector<Diagnostic>& out)
     }
 }
 
+void
+rule_fault_site(const FileContext& ctx, std::vector<Diagnostic>& out)
+{
+    // The fault header's macro definition spells the forwarded
+    // arguments as identifiers.
+    if (ctx.path.rfind("src/common/fault.", 0) == 0)
+        return;
+    // Every probe must name a registered injection site so armed
+    // schedules, the chaos CI job, and the site table in
+    // src/common/fault.hpp stay in sync with the code. Adding a probe
+    // means extending this set (and the fault.hpp table) in the same
+    // change.
+    static const std::set<std::string> kKnownSites = {
+        "run.exec",    "registry.cache.load", "sim.crash",
+        "sched.admit", "sched.evict"};
+    const Tokens& toks = ctx.lex.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!is_ident(toks[i], "IMC_FAULT_PROBE") ||
+            toks[i + 1].text != "(")
+            continue;
+        const Token& site = toks[i + 2];
+        if (site.kind != TokKind::String) {
+            out.push_back(
+                {"fault-site", ctx.path, toks[i].line,
+                 "IMC_FAULT_PROBE site must be a string literal "
+                 "(fault schedules and docs index sites by name)"});
+        } else if (kKnownSites.count(site.text) == 0) {
+            out.push_back(
+                {"fault-site", ctx.path, site.line,
+                 "unknown fault site \"" + site.text +
+                     "\"; register it in the src/common/fault.hpp "
+                     "site table and imc-lint's known-site list"});
+        }
+    }
+}
+
 } // namespace
 
 std::set<std::string>
@@ -493,6 +529,8 @@ rule_descriptions()
          "obs recording only via the gated IMC_OBS_* macros"},
         {"fault-gate",
          "fault probes only via the gated IMC_FAULT_* macros"},
+        {"fault-site",
+         "IMC_FAULT_PROBE sites must be registered string literals"},
         {"lint-suppression",
          "suppressions must name a known rule and be justified"},
     };
@@ -523,6 +561,7 @@ run_rules(const FileContext& ctx, const Options& opts)
         rule_obs_gate(ctx, out);
         rule_fault_gate(ctx, out);
     }
+    rule_fault_site(ctx, out);
     if (!opts.disabled_rules.empty()) {
         out.erase(std::remove_if(
                       out.begin(), out.end(),
