@@ -47,6 +47,7 @@
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/obs.hpp"
+#include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/registry.hpp"
@@ -58,16 +59,6 @@
 using namespace imc;
 
 namespace {
-
-double
-percentile(const std::vector<double>& sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    const auto rank = static_cast<std::size_t>(
-        p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
-    return sorted[std::min(rank, sorted.size() - 1)];
-}
 
 std::vector<int>
 parse_scales(const Cli& cli)
@@ -135,11 +126,11 @@ run_scale(int nodes, const Cli& cli, core::ModelRegistry& registry)
     placement::ModelEvaluator evaluator(registry, {});
     ScaleResult r;
     r.replay = sched::replay(trace, evaluator, ropts);
-    std::vector<double> sorted = r.replay.latencies_ms;
-    std::sort(sorted.begin(), sorted.end());
-    r.p50 = percentile(sorted, 50);
-    r.p99 = percentile(sorted, 99);
-    r.max = sorted.empty() ? 0.0 : sorted.back();
+    const std::vector<double>& lat = r.replay.latencies_ms;
+    r.p50 = lat.empty() ? 0.0 : percentile(lat, 50.0);
+    r.p99 = lat.empty() ? 0.0 : percentile(lat, 99.0);
+    r.max = lat.empty() ? 0.0
+                        : *std::max_element(lat.begin(), lat.end());
     if (!r.replay.oracle.empty())
         r.gap_pct = r.replay.oracle.back().gap() * 100.0;
     return r;

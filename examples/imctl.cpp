@@ -36,7 +36,7 @@
  *             [--duration 1000] [--rate 1] [--lifetime 200]
  *             [--sigma 0.8] [--max-units 4] [--slo-frac 0.3]
  *             [--crash-rate 0] [--repair 100] [--seed 1]
- *             [--apps A,B,...]
+ *             [--service-frac 0] [--apps A,B,...]
  *       Generate a seeded synthetic scheduler event trace (Poisson
  *       arrivals, lognormal lifetimes, mixed archetypes, optional
  *       crash/repair process) in the imc-trace v1 text format. Pure
@@ -75,6 +75,7 @@
 #include "common/fault.hpp"
 #include "common/obs.hpp"
 #include "common/error.hpp"
+#include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/registry.hpp"
@@ -308,6 +309,8 @@ cmd_trace_gen(const Cli& cli)
     gopts.slo_fraction = cli.get_double("slo-frac", gopts.slo_fraction);
     gopts.crash_rate = cli.get_double("crash-rate", gopts.crash_rate);
     gopts.mean_repair = cli.get_double("repair", gopts.mean_repair);
+    gopts.service_fraction =
+        cli.get_double("service-frac", gopts.service_fraction);
     gopts.seed = cli.get_u64("seed", gopts.seed);
     for (const auto& name : cli.get_list("apps"))
         gopts.apps.push_back(workload::find_app(name));
@@ -327,17 +330,6 @@ cmd_trace_gen(const Cli& cli)
               << trace.slots_per_node << " slots (seed=" << gopts.seed
               << ") -> " << out << '\n';
     return 0;
-}
-
-/** Percentile of a sorted sample set (nearest-rank). */
-double
-percentile(const std::vector<double>& sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    const auto rank = static_cast<std::size_t>(
-        p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
-    return sorted[std::min(rank, sorted.size() - 1)];
 }
 
 int
@@ -416,13 +408,15 @@ cmd_serve(const Cli& cli)
     if (cli.has("timing")) {
         // Wall-clock decision latencies: the one section that varies
         // run to run (excluded from determinism comparisons).
-        std::vector<double> sorted = r.latencies_ms;
-        std::sort(sorted.begin(), sorted.end());
-        std::cout << "decision latency: p50 "
-                  << fmt_fixed(percentile(sorted, 50), 3) << " ms, p99 "
-                  << fmt_fixed(percentile(sorted, 99), 3) << " ms, max "
-                  << fmt_fixed(sorted.empty() ? 0.0 : sorted.back(), 3)
-                  << " ms\n";
+        const std::vector<double>& ms = r.latencies_ms;
+        const double p50 = ms.empty() ? 0.0 : imc::percentile(ms, 50.0);
+        const double p99 = ms.empty() ? 0.0 : imc::percentile(ms, 99.0);
+        const double peak =
+            ms.empty() ? 0.0
+                       : *std::max_element(ms.begin(), ms.end());
+        std::cout << "decision latency: p50 " << fmt_fixed(p50, 3)
+                  << " ms, p99 " << fmt_fixed(p99, 3) << " ms, max "
+                  << fmt_fixed(peak, 3) << " ms\n";
     }
     return 0;
 }

@@ -10,6 +10,7 @@ namespace imc {
 void
 OnlineStats::add(double x)
 {
+    require(std::isfinite(x), "OnlineStats::add: non-finite sample");
     if (n_ == 0) {
         min_ = max_ = x;
     } else {
@@ -35,6 +36,86 @@ double
 OnlineStats::stddev() const
 {
     return std::sqrt(variance());
+}
+
+int
+LatencyRecorder::bucket_of(double x)
+{
+    // Sub-picosecond latencies collapse into one floor bucket so the
+    // log stays finite; everything real lands in its 2^(1/8) bucket.
+    constexpr double kFloor = 1e-12;
+    if (x < kFloor)
+        x = kFloor;
+    return static_cast<int>(std::floor(std::log2(x) * 8.0));
+}
+
+void
+LatencyRecorder::add(double x)
+{
+    require(std::isfinite(x) && x >= 0.0,
+            "LatencyRecorder::add: sample must be finite and >= 0");
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    ++buckets_[bucket_of(x)];
+}
+
+void
+LatencyRecorder::merge(const LatencyRecorder& other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    n_ += other.n_;
+    sum_ += other.sum_;
+    for (const auto& [idx, c] : other.buckets_)
+        buckets_[idx] += c;
+}
+
+double
+LatencyRecorder::mean() const
+{
+    return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+}
+
+double
+LatencyRecorder::quantile(double q) const
+{
+    require(n_ > 0, "LatencyRecorder::quantile: no samples");
+    require(q >= 0.0 && q <= 100.0,
+            "LatencyRecorder::quantile: q must be in [0, 100]");
+    // The endpoints are tracked exactly; within-bucket interpolation
+    // would only blur them.
+    if (q == 0.0)
+        return min_;
+    if (q == 100.0)
+        return max_;
+    const double rank = q / 100.0 * static_cast<double>(n_ - 1);
+    std::uint64_t before = 0;
+    for (const auto& [idx, c] : buckets_) {
+        if (rank < static_cast<double>(before + c)) {
+            const double lo = std::exp2(static_cast<double>(idx) / 8.0);
+            const double hi =
+                std::exp2(static_cast<double>(idx + 1) / 8.0);
+            const double frac =
+                (rank - static_cast<double>(before)) /
+                static_cast<double>(c);
+            return std::clamp(lo + frac * (hi - lo), min_, max_);
+        }
+        before += c;
+    }
+    return max_;
 }
 
 double
@@ -64,9 +145,10 @@ median(std::vector<double> xs)
 double
 percentile(std::vector<double> xs, double p)
 {
-    if (xs.empty())
-        return 0.0;
+    require(!xs.empty(), "percentile: empty sample set");
     require(p >= 0.0 && p <= 100.0, "percentile: p must be in [0, 100]");
+    for (double x : xs)
+        require(std::isfinite(x), "percentile: non-finite sample");
     std::sort(xs.begin(), xs.end());
     if (xs.size() == 1)
         return xs.front();

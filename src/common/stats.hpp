@@ -4,12 +4,19 @@
 /**
  * @file
  * Streaming and batch statistics used by profiling, validation, and the
- * benchmark harnesses: Welford online moments, percentiles, and the
- * error metrics the paper reports (average percentage error, standard
- * deviation of errors, min/max error bars).
+ * benchmark harnesses: Welford online moments, percentiles, a
+ * deterministic streaming latency recorder (the ServiceApp tail-latency
+ * metric), and the error metrics the paper reports (average percentage
+ * error, standard deviation of errors, min/max error bars).
+ *
+ * Every entry point rejects non-finite samples loudly: these functions
+ * back the p99 placement objective, and a NaN fed into std::sort is
+ * strict-weak-ordering UB that can silently scramble every percentile.
  */
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <vector>
 
 namespace imc {
@@ -19,7 +26,7 @@ namespace imc {
  */
 class OnlineStats {
   public:
-    /** Fold one sample into the accumulator. */
+    /** Fold one sample into the accumulator. @pre x is finite */
     void add(double x);
 
     /** Number of samples seen so far. */
@@ -52,20 +59,84 @@ class OnlineStats {
     double sum_ = 0.0;
 };
 
+/**
+ * Streaming latency histogram with bounded relative error.
+ *
+ * Samples land in logarithmic buckets of width 2^(1/8) (≈9% growth),
+ * so any quantile estimate is within one bucket — under 9% relative
+ * error — of the exact order statistic, at O(1) memory per decade.
+ * The recorder is a pure function of the sample *multiset*: two
+ * recorders fed the same samples in any order hold identical bucket
+ * tables, and buckets are walked in sorted key order, so quantile
+ * reports are deterministic and merge() is order-independent. (The
+ * exact `sum()` is the one order-sensitive field, to float rounding.)
+ *
+ * This is the p50/p95/p99 reporter behind ServiceApp: recorders
+ * stream millions of request latencies without retaining samples,
+ * and per-VM recorders merge into a per-app distribution.
+ */
+class LatencyRecorder {
+  public:
+    /** Record one latency sample. @pre x is finite and >= 0 */
+    void add(double x);
+
+    /** Fold another recorder's samples into this one. */
+    void merge(const LatencyRecorder& other);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return n_; }
+
+    /** Sum of all samples (exact, not bucketed). */
+    double sum() const { return sum_; }
+
+    /** Mean sample (exact); 0 when empty. */
+    double mean() const;
+
+    /** Smallest sample (exact); 0 when empty. */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest sample (exact); 0 when empty. */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /**
+     * Quantile estimate via within-bucket linear interpolation,
+     * clamped to the exact [min, max] envelope.
+     *
+     * @param q quantile in [0, 100]
+     * @pre at least one sample recorded
+     */
+    double quantile(double q) const;
+
+    /** Number of distinct occupied buckets (memory footprint probe). */
+    std::size_t buckets() const { return buckets_.size(); }
+
+  private:
+    static int bucket_of(double x);
+
+    std::map<int, std::uint64_t> buckets_;
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
 /** Arithmetic mean of a vector; 0 when empty. */
 double mean(const std::vector<double>& xs);
 
 /** Unbiased sample standard deviation of a vector; 0 with < 2 samples. */
 double stddev(const std::vector<double>& xs);
 
-/** Median (linear-interpolated); 0 when empty. */
+/** Median (linear-interpolated). @pre xs non-empty, all finite */
 double median(std::vector<double> xs);
 
 /**
- * Linear-interpolated percentile.
+ * Linear-interpolated percentile (the `p/100 * (n-1)` rank
+ * convention, matching numpy's default).
  *
  * @param xs samples (copied and sorted internally)
  * @param p  percentile in [0, 100]
+ * @pre xs non-empty and every sample finite — a NaN reaching
+ *      std::sort is strict-weak-ordering UB, so garbage fails loudly
  */
 double percentile(std::vector<double> xs, double p);
 

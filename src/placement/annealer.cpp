@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/obs.hpp"
 #include "placement/delta_scorer.hpp"
+#include "placement/slo.hpp"
 
 namespace imc::placement {
 
@@ -28,13 +29,19 @@ struct Score {
 
 Score
 score_of(const DeltaScorer& scorer,
-         const std::optional<QosConstraint>& qos)
+         const std::optional<QosConstraint>& qos,
+         const std::vector<double>& slo_targets)
 {
     Score s;
     s.total = scorer.total_time();
     if (qos) {
         const double t = scorer.time_of(qos->instance);
         s.violation = std::max(0.0, t - qos->max_norm_time);
+    }
+    if (!slo_targets.empty()) {
+        s.violation += slo_debt(scorer.times(),
+                                scorer.placement().instances(),
+                                slo_targets);
     }
     return s;
 }
@@ -75,7 +82,7 @@ anneal_chain(const Placement& initial, const Evaluator& evaluator,
         goal == Goal::MinimizeTotalTime ? 1.0 : -1.0;
 
     DeltaScorer scorer(evaluator, initial, !opts.use_delta);
-    Score current_score = score_of(scorer, qos);
+    Score current_score = score_of(scorer, qos, opts.slo_targets);
     Placement best = scorer.placement();
     Score best_score = current_score;
 
@@ -102,7 +109,7 @@ anneal_chain(const Placement& initial, const Evaluator& evaluator,
             continue; // degenerate configuration; keep cooling
 
         scorer.apply(UnitSwap{a.instance, a.unit, b.instance, b.unit});
-        const Score cand = score_of(scorer, qos);
+        const Score cand = score_of(scorer, qos, opts.slo_targets);
 
         // Scalarized objective: heavily penalized violation annealed
         // together with the (signed) total, so the search can cross
@@ -158,6 +165,11 @@ anneal(Placement initial, const Evaluator& evaluator, Goal goal,
                     qos->instance < initial.num_instances(),
                 "anneal: QoS instance out of range");
     }
+    require(opts.slo_targets.empty() ||
+                opts.slo_targets.size() ==
+                    static_cast<std::size_t>(initial.num_instances()),
+            "anneal: slo_targets must be empty or index-aligned with "
+            "the placement");
 
     int chains = opts.chains;
     if (chains == 0) {

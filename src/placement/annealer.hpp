@@ -18,6 +18,7 @@
  */
 
 #include <optional>
+#include <vector>
 
 #include "placement/evaluator.hpp"
 
@@ -78,6 +79,16 @@ struct AnnealOptions {
      * bench/micro_annealer compares against.
      */
     bool use_delta = true;
+    /**
+     * Per-instance SLO targets (maximum acceptable normalized time;
+     * <= 0 = best-effort). When non-empty it must be index-aligned
+     * with the placement; the unit-weighted debt (placement::slo_debt)
+     * joins the QoS violation in the annealed score, weighted by
+     * qos_penalty and selected violation-first — QoS placement
+     * minimizing p99 violations for service apps. Empty (the default)
+     * leaves every search byte-identical to the pre-SLO behaviour.
+     */
+    std::vector<double> slo_targets;
 };
 
 /** Search outcome. */

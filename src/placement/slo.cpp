@@ -1,0 +1,47 @@
+#include "placement/slo.hpp"
+
+#include "common/error.hpp"
+
+namespace imc::placement {
+
+double
+slo_debt(const std::vector<double>& times,
+         const std::vector<Instance>& instances,
+         const std::vector<double>& slo)
+{
+    require(times.size() == instances.size() &&
+                slo.size() == times.size(),
+            "slo_debt: times/instances/slo must be index-aligned");
+    double debt = 0.0;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        const double target = slo[i];
+        if (target > 0.0 && times[i] > target)
+            debt += instances[i].units * (times[i] - target);
+    }
+    return debt;
+}
+
+double
+tail_objective(const DeltaScorer& scorer,
+               const std::vector<double>& slo, double penalty)
+{
+    return scorer.total_time() +
+           penalty * slo_debt(scorer.times(),
+                              scorer.placement().instances(), slo);
+}
+
+int
+slo_violations(const std::vector<double>& times,
+               const std::vector<double>& slo)
+{
+    require(slo.size() == times.size(),
+            "slo_violations: times/slo must be index-aligned");
+    int count = 0;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        if (slo[i] > 0.0 && times[i] > slo[i])
+            ++count;
+    }
+    return count;
+}
+
+} // namespace imc::placement

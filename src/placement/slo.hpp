@@ -1,0 +1,56 @@
+#ifndef IMC_PLACEMENT_SLO_HPP
+#define IMC_PLACEMENT_SLO_HPP
+
+/**
+ * @file
+ * The tail-latency objective term shared by every placement consumer.
+ *
+ * An SLO target is a maximum acceptable *normalized* time per
+ * instance. For the throughput templates that is normalized
+ * completion time (the paper's objective); for ServiceApp instances
+ * the measurement stack reports normalized p99 request latency
+ * through the same channel, so a target of e.g. 1.25 reads "p99 may
+ * stretch at most 25% beyond its uncontended value" — a real tail
+ * QoS bound, not a makespan bound.
+ *
+ * slo_debt() is THE definition of the violation term: the scheduler
+ * core's objective, the annealer's QoS-placement score, and the
+ * micro_serve violation counter all call it, so admission, eviction
+ * veto, crash repair, and offline search score against the identical
+ * arithmetic (same accumulation order — determinism contracts depend
+ * on it).
+ */
+
+#include <vector>
+
+#include "placement/delta_scorer.hpp"
+#include "placement/placement.hpp"
+
+namespace imc::placement {
+
+/**
+ * Unit-weighted sum of SLO violations, accumulated in instance order.
+ *
+ * @param slo per-instance maximum acceptable normalized time;
+ *            entries <= 0 are best-effort (never in debt)
+ * @pre times, instances, and slo are index-aligned and equal-sized
+ */
+double slo_debt(const std::vector<double>& times,
+                const std::vector<Instance>& instances,
+                const std::vector<double>& slo);
+
+/**
+ * The tail-aware placement objective: VM-weighted total normalized
+ * time plus @p penalty per unit of weighted SLO violation.
+ */
+double tail_objective(const DeltaScorer& scorer,
+                      const std::vector<double>& slo, double penalty);
+
+/** Number of instances whose SLO target is violated (slo_i > 0 and
+ *  time_i > slo_i); the headline micro_serve metric. */
+int slo_violations(const std::vector<double>& times,
+                   const std::vector<double>& slo);
+
+} // namespace imc::placement
+
+#endif // IMC_PLACEMENT_SLO_HPP

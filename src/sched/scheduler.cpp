@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "placement/slo.hpp"
 
 namespace imc::sched {
 
@@ -253,15 +254,8 @@ SchedulerCore::repair_displaced(std::vector<std::int64_t>* evicted,
 double
 SchedulerCore::objective() const
 {
-    const std::vector<double>& times = scorer_.times();
-    const auto& instances = scorer_.placement().instances();
-    double debt = 0.0;
-    for (std::size_t i = 0; i < times.size(); ++i) {
-        const double slo = slo_[i];
-        if (slo > 0.0 && times[i] > slo)
-            debt += instances[i].units * (times[i] - slo);
-    }
-    return scorer_.total_time() + opts_.slo_penalty * debt;
+    return placement::tail_objective(scorer_, slo_,
+                                     opts_.slo_penalty);
 }
 
 std::int64_t

@@ -20,7 +20,11 @@
  * counts while still bounding per-event latency (see DESIGN.md §8).
  *
  * SLO handling: an app may carry a maximum acceptable normalized
- * execution time (slo <= 0 = best-effort). The polish objective adds
+ * execution time (slo <= 0 = best-effort). For ServiceApp instances
+ * the measured/predicted "normalized time" is normalized p99 request
+ * latency, so the SLO field is a real tail-latency target: admission,
+ * eviction veto, and crash repair all score against it through the
+ * shared placement::tail_objective term. The polish objective adds
  * slo_penalty per unit of weighted SLO violation, and when admission
  * or crash repair runs out of capacity the core may evict best-effort
  * apps (never SLO apps) to make room — SLO-aware eviction.

@@ -235,9 +235,14 @@ generate_trace(const TraceGenOptions& opts)
             "generate_trace: slo_fraction must be in [0, 1]");
     require(opts.crash_rate >= 0.0,
             "generate_trace: crash_rate must be >= 0");
+    require(opts.service_fraction >= 0.0 &&
+                opts.service_fraction <= 1.0,
+            "generate_trace: service_fraction must be in [0, 1]");
 
     const std::vector<workload::AppSpec> apps =
         opts.apps.empty() ? default_trace_apps() : opts.apps;
+    const std::vector<workload::AppSpec>& serve_pool =
+        workload::service_apps();
 
     Trace trace;
     trace.num_nodes = opts.num_nodes;
@@ -262,8 +267,16 @@ generate_trace(const TraceGenOptions& opts)
             arrive.kind = EventKind::kArrive;
             arrive.time = t;
             arrive.id = next_id++;
+            // Gated so service_fraction == 0 consumes no draw and
+            // existing seeds stay byte-identical.
+            const bool service =
+                opts.service_fraction > 0.0 &&
+                rng.bernoulli(opts.service_fraction);
             arrive.app =
-                apps[rng.uniform_index(apps.size())].abbrev;
+                service
+                    ? serve_pool[rng.uniform_index(serve_pool.size())]
+                          .abbrev
+                    : apps[rng.uniform_index(apps.size())].abbrev;
             arrive.units = static_cast<int>(
                 rng.uniform_int(1, opts.max_units));
             arrive.slo = rng.bernoulli(opts.slo_fraction)

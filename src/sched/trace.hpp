@@ -117,6 +117,14 @@ struct TraceGenOptions {
      * default mixed pool (2 BSP + 2 task-pool + 2 batch catalog apps).
      */
     std::vector<workload::AppSpec> apps;
+    /**
+     * Fraction of arrivals drawn from the latency-serving pool
+     * (workload::service_apps()) instead of the archetype pool. Their
+     * SLO field — when the slo_fraction coin grants one — is a p99
+     * tail-latency target. 0 (the default) adds no RNG draws, so
+     * existing seeds keep generating byte-identical traces.
+     */
+    double service_fraction = 0.0;
 };
 
 /** The default mixed archetype pool (see TraceGenOptions::apps). */

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "workload/batch_app.hpp"
 #include "workload/bsp_app.hpp"
+#include "workload/service_app.hpp"
 #include "workload/taskpool_app.hpp"
 
 namespace imc::workload {
@@ -130,6 +131,8 @@ launch(sim::Simulation& sim, const AppSpec& spec, LaunchOptions opts)
         return std::make_unique<TaskPoolApp>(sim, spec, std::move(opts));
       case AppKind::Batch:
         return std::make_unique<BatchApp>(sim, spec, std::move(opts));
+      case AppKind::Service:
+        return std::make_unique<ServiceApp>(sim, spec, std::move(opts));
     }
     throw LogicBug("launch: unknown AppKind");
 }

@@ -80,6 +80,22 @@ class RunningApp {
      */
     double finish_time() const;
 
+    /**
+     * Latency QoS metric in simulated seconds, or a negative value
+     * for templates without one.
+     *
+     * The throughput templates (BSP, task-pool, batch) return -1:
+     * their metric is finish_time(). ServiceApp overrides this to
+     * return its p99 request latency, which the measurement paths
+     * (runner, placement measure_actual) prefer over finish_time()
+     * whenever it is non-negative — so "normalized time" for a
+     * service app is normalized tail latency, and the whole
+     * profiling/model/placement stack applies unchanged.
+     *
+     * @pre done()
+     */
+    virtual double qos_metric() const { return -1.0; }
+
     /** The spec this instance was launched from. */
     const AppSpec& spec() const { return spec_; }
 

@@ -30,6 +30,9 @@ enum class AppKind {
     TaskPool,
     /** Independent single-node instances (SPEC CPU2006 co-runners). */
     Batch,
+    /** Open-loop latency-serving app: Zipf-keyed request arrivals,
+     *  per-VM token buckets and FIFO queues, p99 as the metric. */
+    Service,
 };
 
 /** Parameters of the bulk-synchronous template. */
@@ -84,6 +87,36 @@ struct BatchParams {
     int segments = 40;
 };
 
+/**
+ * Parameters of the open-loop latency-serving template.
+ *
+ * Requests arrive in a Poisson stream for the whole app, carry a
+ * Zipf-distributed key that routes them to one VM (key mod VMs, so a
+ * hot key means a hot VM), pass a per-VM token bucket (over-rate
+ * requests are dropped, not queued), wait in that VM's FIFO queue,
+ * and are served with a lognormal service time inflated by the node's
+ * *current* contention slowdown. The app's finish metric is its p99
+ * request latency, not a completion time.
+ */
+struct ServiceParams {
+    /** Open-loop measurement window, seconds of sim time. */
+    double duration = 30.0;
+    /** Mean request arrivals per second, whole app (all VMs). */
+    double request_rate = 200.0;
+    /** Size of the key space requests are drawn from. */
+    int num_keys = 1024;
+    /** Zipf skew of key popularity (0 = uniform; ~0.99 = YCSB-ish). */
+    double zipf_theta = 0.99;
+    /** Mean uncontended service time of one request, seconds. */
+    double service_time = 0.01;
+    /** Lognormal sigma of per-request service-time variation. */
+    double service_cv = 0.25;
+    /** Token-bucket refill rate per VM, requests/second. */
+    double bucket_rate = 120.0;
+    /** Token-bucket burst capacity per VM, requests. */
+    double bucket_burst = 30.0;
+};
+
 /** Full static description of one application workload. */
 struct AppSpec {
     /** Full benchmark name, e.g. "126.lammps". */
@@ -117,6 +150,7 @@ struct AppSpec {
     BspParams bsp;
     TaskPoolParams pool;
     BatchParams batch;
+    ServiceParams serve;
 
     /** True for workloads that span multiple nodes. */
     bool distributed() const { return kind != AppKind::Batch; }

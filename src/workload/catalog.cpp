@@ -85,6 +85,52 @@ batch(const std::string& name, const std::string& abbrev, double score,
     return s;
 }
 
+AppSpec
+serve(const std::string& name, const std::string& abbrev, double score,
+      double need, double mu, double gamma, double rate,
+      double service_time, double theta, int keys)
+{
+    AppSpec s;
+    s.name = name;
+    s.abbrev = abbrev;
+    s.suite = "SERVICE";
+    s.kind = AppKind::Service;
+    s.demand = demand_for(score, need, mu, gamma);
+    s.serve.request_rate = rate;
+    s.serve.service_time = service_time;
+    s.serve.zipf_theta = theta;
+    s.serve.num_keys = keys;
+    s.noise_sigma = 0.02;
+    return s;
+}
+
+/**
+ * The latency-serving tier: calibrated like the Table 1 entries
+ * (generated pressure from the bubble curve, received sensitivity per
+ * app), but measured by p99 latency. The cache tier has a large hot
+ * working set (high need/gamma), search burns the most CPU per
+ * request, the web tier is light on both.
+ */
+std::vector<AppSpec>
+build_service_apps()
+{
+    std::vector<AppSpec> apps;
+    apps.push_back(serve("memcache-tier", "V.mc", 1.5, 12.0, 0.60, 1.2,
+                         /*rate=*/400.0, /*service_time=*/0.005,
+                         /*theta=*/0.99, /*keys=*/4096));
+    apps.push_back(serve("search-tier", "V.srch", 2.5, 10.0, 0.55, 1.0,
+                         /*rate=*/150.0, /*service_time=*/0.02,
+                         /*theta=*/0.70, /*keys=*/1024));
+    {
+        AppSpec web = serve("web-tier", "V.web", 0.8, 5.0, 0.30, 0.9,
+                            /*rate=*/250.0, /*service_time=*/0.01,
+                            /*theta=*/1.10, /*keys=*/2048);
+        web.serve.service_cv = 0.35;
+        apps.push_back(web);
+    }
+    return apps;
+}
+
 std::vector<AppSpec>
 build_catalog()
 {
@@ -229,10 +275,21 @@ batch_apps()
     return out;
 }
 
+const std::vector<AppSpec>&
+service_apps()
+{
+    static const std::vector<AppSpec> apps = build_service_apps();
+    return apps;
+}
+
 const AppSpec&
 find_app(const std::string& abbrev)
 {
     for (const auto& app : catalog()) {
+        if (app.abbrev == abbrev)
+            return app;
+    }
+    for (const auto& app : service_apps()) {
         if (app.abbrev == abbrev)
             return app;
     }

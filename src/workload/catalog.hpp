@@ -34,7 +34,17 @@ std::vector<AppSpec> distributed_apps();
 std::vector<AppSpec> batch_apps();
 
 /**
- * Look up an application by its paper abbreviation (e.g. "M.lmps").
+ * The latency-serving applications (ServiceApp template, suite
+ * "SERVICE"): synthetic key-value / search / web tiers measured by
+ * p99 request latency instead of completion time. Kept out of
+ * catalog() on purpose — the paper's 18-entry list backs recorded
+ * golden figures and must stay byte-stable.
+ */
+const std::vector<AppSpec>& service_apps();
+
+/**
+ * Look up an application by its paper abbreviation (e.g. "M.lmps")
+ * or service abbreviation (e.g. "V.mc").
  *
  * @throws ConfigError if the abbreviation is unknown
  */

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/cluster.hpp"
+#include "sim/engine.hpp"
 #include "workload/app.hpp"
 #include "workload/app_spec.hpp"
 
@@ -36,6 +37,9 @@ struct RunConfig {
      * distinct profiling runs on a real cluster would).
      */
     std::uint64_t salt = 0;
+    /** Simulation engine driving each run. Both modes execute
+     *  event-for-event identically; kScaled is the fast default. */
+    sim::EngineMode engine = sim::EngineMode::kScaled;
 };
 
 /** A static interference source present for a whole run. */
@@ -135,7 +139,8 @@ class RestartingApp {
             current_->detach();
     }
 
-    /** Completion time of the first finished run, or -1. */
+    /** First run's metric (completion time, or p99 latency for
+     *  service apps), or -1 before any run finishes. */
     double first_finish_time() const { return first_finish_; }
 
     /** Number of completed runs so far. */

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -114,6 +115,124 @@ TEST(Stats, MeanAbsPctErrorRejectsMismatch)
 {
     EXPECT_THROW(mean_abs_pct_error({1.0}, {1.0, 2.0}), ConfigError);
     EXPECT_THROW(mean_abs_pct_error({}, {}), ConfigError);
+}
+
+TEST(Stats, PercentileRejectsEmptyAndNonFinite)
+{
+    EXPECT_THROW(percentile({}, 50.0), ConfigError);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(percentile({1.0, nan}, 50.0), ConfigError);
+    EXPECT_THROW(percentile({inf}, 50.0), ConfigError);
+}
+
+// The hand-computed oracle the bench harnesses' late local helpers
+// got wrong: a nearest-rank + 0.5 rounding reported p50({1,2}) = 2
+// and p99 of 100 evenly spaced samples one rank too high. Pins the
+// shared imc::percentile (now the only percentile in the tree) to
+// the numpy p/100*(n-1) convention.
+TEST(Stats, PercentileMatchesHandComputedOracle)
+{
+    EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 50.0), 1.5);
+    std::vector<double> xs;
+    for (int i = 1; i <= 100; ++i)
+        xs.push_back(static_cast<double>(i));
+    // rank = 0.99 * 99 = 98.01 -> 99 + 0.01 * (100 - 99) = 99.01.
+    EXPECT_NEAR(percentile(xs, 99.0), 99.01, 1e-12);
+    EXPECT_DOUBLE_EQ(percentile({5.0}, 99.0), 5.0);
+}
+
+TEST(OnlineStats, AddRejectsNonFinite)
+{
+    OnlineStats s;
+    EXPECT_THROW(s.add(std::numeric_limits<double>::quiet_NaN()),
+                 ConfigError);
+    EXPECT_THROW(s.add(std::numeric_limits<double>::infinity()),
+                 ConfigError);
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(LatencyRecorder, ExactFieldsAndEmptyBehaviour)
+{
+    LatencyRecorder r;
+    EXPECT_EQ(r.count(), 0u);
+    EXPECT_EQ(r.sum(), 0.0);
+    EXPECT_EQ(r.mean(), 0.0);
+    EXPECT_EQ(r.min(), 0.0);
+    EXPECT_EQ(r.max(), 0.0);
+    r.add(2.0);
+    r.add(4.0);
+    r.add(6.0);
+    EXPECT_EQ(r.count(), 3u);
+    EXPECT_DOUBLE_EQ(r.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(r.mean(), 4.0);
+    EXPECT_EQ(r.min(), 2.0);
+    EXPECT_EQ(r.max(), 6.0);
+}
+
+TEST(LatencyRecorder, RejectsNonFiniteAndNegative)
+{
+    LatencyRecorder r;
+    EXPECT_THROW(r.add(std::numeric_limits<double>::quiet_NaN()),
+                 ConfigError);
+    EXPECT_THROW(r.add(-1.0), ConfigError);
+    EXPECT_EQ(r.count(), 0u);
+    EXPECT_THROW(r.quantile(50.0), ConfigError);
+    EXPECT_THROW([] {
+        LatencyRecorder q;
+        q.add(1.0);
+        q.quantile(101.0);
+    }(), ConfigError);
+}
+
+// Bucket width is 2^(1/8) - 1 (about 9%), so any quantile estimate
+// must sit within one bucket of the exact order statistic.
+TEST(LatencyRecorder, QuantilesTrackExactWithinBucketResolution)
+{
+    imc::Rng rng(7);
+    LatencyRecorder r;
+    std::vector<double> xs;
+    for (int i = 0; i < 20'000; ++i) {
+        const double x = 0.001 * rng.lognormal_factor(0.8);
+        xs.push_back(x);
+        r.add(x);
+    }
+    for (double q : {50.0, 95.0, 99.0}) {
+        const double exact = percentile(xs, q);
+        EXPECT_NEAR(r.quantile(q), exact, exact * 0.10)
+            << "q=" << q;
+    }
+    EXPECT_LE(r.quantile(0.0) , r.quantile(50.0));
+    EXPECT_LE(r.quantile(50.0), r.quantile(100.0));
+    EXPECT_DOUBLE_EQ(r.quantile(0.0), r.min());
+    EXPECT_DOUBLE_EQ(r.quantile(100.0), r.max());
+    // Log-bucketing keeps the footprint tiny.
+    EXPECT_LT(r.buckets(), 200u);
+}
+
+TEST(LatencyRecorder, MergeIsOrderIndependent)
+{
+    imc::Rng rng(11);
+    LatencyRecorder whole;
+    LatencyRecorder part_a;
+    LatencyRecorder part_b;
+    for (int i = 0; i < 5'000; ++i) {
+        const double x = 0.01 * rng.lognormal_factor(0.5);
+        whole.add(x);
+        (i % 3 == 0 ? part_a : part_b).add(x);
+    }
+    LatencyRecorder ab = part_a;
+    ab.merge(part_b);
+    LatencyRecorder ba = part_b;
+    ba.merge(part_a);
+    EXPECT_EQ(ab.count(), whole.count());
+    EXPECT_EQ(ba.count(), whole.count());
+    EXPECT_EQ(ab.min(), whole.min());
+    EXPECT_EQ(ab.max(), whole.max());
+    for (double q : {1.0, 50.0, 99.0, 99.9}) {
+        EXPECT_DOUBLE_EQ(ab.quantile(q), ba.quantile(q)) << q;
+        EXPECT_DOUBLE_EQ(ab.quantile(q), whole.quantile(q)) << q;
+    }
 }
 
 // Property: Welford matches the two-pass formula on random data.
