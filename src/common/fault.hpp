@@ -17,17 +17,11 @@
  * profiler degradation) produce identical observable output.
  *
  * Injection sites are dotted lowercase ids, "<subsystem>.<what>"
- * (mirroring the imc::obs naming convention):
- *
- *   run.exec            RunService request execution
- *   registry.cache.load model-cache file load (transient corruption)
- *   sim.crash           node-crash schedule (placement recovery)
- *   sched.admit         scheduler admission control (arrival rejected)
- *   sched.evict         scheduler eviction (victim candidate vetoed)
- *
- * This table is the registry: imc-lint's fault-site rule checks every
- * IMC_FAULT_PROBE in the tree against it, so adding a probe means
- * extending both lists in the same change.
+ * (mirroring the imc::obs naming convention). The kFaultSites array
+ * below is the registry: imc-lint's cross-TU fault-site pass checks
+ * every IMC_FAULT_PROBE in the tree against it (unknown sites are
+ * rejected, registered-but-never-probed sites are reported dead), so
+ * adding a probe means extending the array in the same change.
  *
  * A *schedule* is armed from a seed plus a spec string of
  * comma-separated clauses
@@ -58,6 +52,26 @@ class Cli;
 }
 
 namespace imc::fault {
+
+/**
+ * Registered injection sites — the single source of truth the
+ * imc-lint fault-site / fault-site-dead passes cross-check probe
+ * literals against. One entry per site, with the subsystem that owns
+ * the probe:
+ *
+ *   run.exec            RunService request execution
+ *   registry.cache.load model-cache file load (transient corruption)
+ *   sim.crash           node-crash schedule (placement recovery)
+ *   sched.admit         scheduler admission control (arrival rejected)
+ *   sched.evict         scheduler eviction (victim candidate vetoed)
+ */
+inline constexpr const char* kFaultSites[] = {
+    "run.exec",
+    "registry.cache.load",
+    "sim.crash",
+    "sched.admit",
+    "sched.evict",
+};
 
 /** What a probe decided to inject at one logical point. */
 struct Outcome {

@@ -37,6 +37,88 @@ class Cli;
 
 namespace imc::obs {
 
+/**
+ * Registered metric names — the single source of truth the imc-lint
+ * obs-name / obs-name-dead passes cross-check every IMC_OBS_* name
+ * literal in src/ against, so dashboards and EXPERIMENTS.md recipes
+ * can never reference a name that silently drifted. Entries are
+ * either exact names or patterns with one '*' per dynamic fragment,
+ * exactly as the analyzer derives them from the call site (e.g.
+ * `"fault.injected." + site` indexes as "fault.injected.*"). A Span
+ * named "x" additionally feeds an "x.us" histogram; the registry
+ * records the span's base name. Adding a recording site means
+ * extending this array in the same change.
+ */
+inline constexpr const char* kObsNames[] = {
+    // placement annealer
+    "anneal.accepted",
+    "anneal.best_total",
+    "anneal.chain",
+    "anneal.chains",
+    "anneal.proposals",
+    // fault engine ("fault.injected." + site)
+    "fault.injected",
+    "fault.injected.*",
+    // CountingMeasure
+    "measure.cache_hits",
+    "measure.measured",
+    "measure.prefetched",
+    // crash recovery
+    "placement.recover",
+    "placement.recovered_units",
+    // profilers: spans per algorithm plus per-algorithm cost
+    // counters emitted under a dynamic "<subsystem>.<algo>" prefix
+    "profile.binary-brute",
+    "profile.binary-optimized",
+    "profile.exhaustive",
+    "profile.random",
+    "*.runs",
+    "*.measured",
+    "*.interpolated",
+    "*.degraded_cells",
+    // model registry ("registry.build:" + app abbrev)
+    "registry.build:*",
+    "registry.builds",
+    "registry.disk_cache_hits",
+    "registry.quarantined",
+    "registry.requests",
+    // RunService execution + cache
+    "run.failed",
+    "run.retries",
+    "run.timeouts",
+    "runservice.batch_size",
+    "runservice.batches",
+    "runservice.cache_hits",
+    "runservice.execute",
+    "runservice.executed",
+    "runservice.queue_depth.max",
+    "runservice.submitted",
+    // event-driven scheduler
+    "sched.admitted",
+    "sched.apps",
+    "sched.crashes",
+    "sched.departed",
+    "sched.event",
+    "sched.fault_rejected",
+    "sched.joins",
+    "sched.quality_vs_oracle_pct",
+    "sched.rejected",
+    // bubble scorer ("scorer.score:" + app abbrev)
+    "scorer.calibrate",
+    "scorer.calibration_runs",
+    "scorer.probe_runs",
+    "scorer.score:*",
+    // sim engine
+    "sim.computes",
+    "sim.contention_solves",
+    "sim.events",
+    "sim.node_crashes",
+    "sim.proc_reschedules",
+    "sim.runs",
+    // the obs layer's own health counter (recorded by obs.cpp)
+    "obs.nonfinite_samples",
+};
+
 #ifndef IMC_OBS_DISABLED
 
 /** Globally enable/disable collection (off at startup). */

@@ -99,7 +99,7 @@ class CountingMeasure {
     mutable std::mutex mutex_;
     MeasureFn inner_;
     PrefetchFn prefetch_;
-    // Determinism audit (imc-lint determinism-unordered-iter): find/
+    // Determinism audit (imc-lint determinism-taint): find/
     // emplace only; values and the measured() cost are functions of
     // the setting set, not of insertion or iteration order
     // (tests/test_determinism.cpp).

@@ -121,7 +121,7 @@ class EventQueueBase {
         double time;
     };
 
-    // Determinism audit (imc-lint determinism-unordered-iter): this
+    // Determinism audit (imc-lint determinism-taint): this
     // map is keyed-lookup only — firing order comes exclusively from
     // the derived queue's (time, seq) ordering, never from map
     // iteration. tests/test_determinism.cpp locks that in across

@@ -236,7 +236,7 @@ class RunService {
     int threads_ = 1;
     mutable std::mutex mutex_; // guards cache_, queue_, stats, stop_
     std::condition_variable work_cv_;
-    // Determinism audit (imc-lint determinism-unordered-iter): the
+    // Determinism audit (imc-lint determinism-taint): the
     // content-addressed cache is find/emplace only; every result is
     // a pure function of its canonical key, so cache layout and
     // submission order cannot reach measured values

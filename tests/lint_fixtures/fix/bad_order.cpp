@@ -1,0 +1,6 @@
+// Fixture (--fix): a <system> include interleaved after the
+// "project" group; --fix stable-sorts the groups in place.
+#include <vector>
+#include "common/stats.hpp"
+#include <string>
+void f();

@@ -1,0 +1,4 @@
+#ifndef WRONG_NAME_HPP
+#define WRONG_NAME_HPP
+void g();
+#endif // WRONG_NAME_HPP

@@ -1,8 +1,9 @@
-// Fixture: fault-site violations. Expected:
-//   line 10: unknown fault site "sched.frobnicate"
-//   line 11: non-literal site expression
-// Line 9 probes a registered site and is fine. (Fixtures are lexed,
-// never compiled, so the IMC_FAULT_PROBE macro needs no definition.)
+// Fixture: per-file fault-site violation. Expected:
+//   line 12: non-literal site expression
+// Line 10 probes a registered site; line 11 an unknown one — the
+// unknown-site finding is the phase-2 cross-check (it needs the
+// kFaultSites registry in view), so per-file linting stays silent
+// on it. (Fixtures are lexed, never compiled.)
 const char* dynamic_site();
 void probe_some_sites(int id)
 {

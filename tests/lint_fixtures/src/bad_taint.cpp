@@ -1,0 +1,24 @@
+// Fixture: determinism-taint violations. Expected:
+//   line 15: range-for loop key accumulated into a local that is
+//            then streamed (taint through a local)
+//   line 22: .begin() iterator of an unordered map feeding a digest
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+void
+dump(const std::unordered_map<std::string, double>& weights)
+{
+    std::string joined;
+    for (const auto& [k, v] : weights)
+        joined += k;
+    std::cout << joined << "\n";
+}
+std::uint64_t
+digest_of(const std::unordered_map<std::string, int>& m)
+{
+    std::uint64_t digest = 0;
+    auto it = m.begin();
+    digest += static_cast<std::uint64_t>(it->second);
+    return digest;
+}

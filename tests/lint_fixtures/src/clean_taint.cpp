@@ -1,0 +1,23 @@
+// Fixture: determinism-safe idioms the real tree relies on —
+// keyed find() lookups and sort-before-emit. Expected: no
+// diagnostics, even though the emitting loop reuses the name `k`
+// that an earlier range-for over the unordered map tainted (the
+// clean range-for is a fresh binding and kills the stale taint).
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+void
+emit(const std::unordered_map<std::string, double>& m)
+{
+    const auto it = m.find("x");
+    if (it != m.end())
+        std::cout << it->second;
+    std::vector<std::string> keys;
+    for (const auto& [k, v] : m)
+        keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    for (const auto& k : keys)
+        std::cout << k;
+}

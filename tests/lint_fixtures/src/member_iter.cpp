@@ -1,13 +1,16 @@
 // Fixture (cross-file): iterates an unordered member declared in
-// member_iter.hpp. Expected:
-//   line 10: determinism-unordered-iter on entries_
+// member_iter.hpp and streams the values. Expected (only with the
+// sibling header in view):
+//   line 14: determinism-taint — entries_ iteration reaches a stream
 #include "member_iter.hpp"
 
-double
-Ledger::sum() const
+#include <sstream>
+
+std::string
+Ledger::dump() const
 {
-    double total = 0.0;
+    std::ostringstream os;
     for (const auto& [name, value] : entries_)
-        total += value;
-    return total;
+        os << name << "=" << value;
+    return os.str();
 }

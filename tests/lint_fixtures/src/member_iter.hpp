@@ -2,14 +2,14 @@
 #define IMC_MEMBER_ITER_HPP
 
 // Fixture (cross-file): declares the unordered member the sibling
-// .cpp iterates. This header itself is clean.
+// .cpp iterates into a stream. This header itself is clean.
 
 #include <string>
 #include <unordered_map>
 
 class Ledger {
   public:
-    double sum() const;
+    std::string dump() const;
 
   private:
     std::unordered_map<std::string, double> entries_;

@@ -1,0 +1,13 @@
+// Fixture: a justified suppression silences determinism-taint.
+// Expected: no diagnostics.
+#include <iostream>
+#include <string>
+#include <unordered_map>
+void
+dump(const std::unordered_map<std::string, int>& m)
+{
+    for (const auto& [k, v] : m)
+        // imc-lint: allow(determinism-taint): fixture — the emit
+        // order is deliberately unstable to exercise the grammar.
+        std::cout << k << v;
+}

@@ -1,0 +1,5 @@
+#ifndef IMC_COMMON_BASE_HPP
+#define IMC_COMMON_BASE_HPP
+// Deliberate inversion: common reaching up into sim.
+#include "sim/loop.hpp"
+#endif // IMC_COMMON_BASE_HPP

@@ -1,0 +1,7 @@
+#ifndef IMC_COMMON_FAULT_HPP
+#define IMC_COMMON_FAULT_HPP
+inline constexpr const char* kFaultSites[] = {
+    "run.exec",
+    "dead.site",
+};
+#endif // IMC_COMMON_FAULT_HPP

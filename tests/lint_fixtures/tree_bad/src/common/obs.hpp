@@ -1,0 +1,7 @@
+#ifndef IMC_COMMON_OBS_HPP
+#define IMC_COMMON_OBS_HPP
+inline constexpr const char* kObsNames[] = {
+    "good.count",
+    "dead.metric",
+};
+#endif // IMC_COMMON_OBS_HPP

@@ -1,0 +1,5 @@
+#ifndef IMC_SIM_LOOP_HPP
+#define IMC_SIM_LOOP_HPP
+// Closes the include cycle back into common.
+#include "common/base.hpp"
+#endif // IMC_SIM_LOOP_HPP

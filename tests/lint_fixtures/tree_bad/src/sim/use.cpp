@@ -1,0 +1,9 @@
+// Probes and records; one site and one name drifted from the
+// registries. (Fixtures are lexed, never compiled.)
+void run_all(const char* key)
+{
+    IMC_FAULT_PROBE("run.exec", key, 0);
+    IMC_FAULT_PROBE("bogus.site", key, 0);
+    IMC_OBS_COUNT("good.count");
+    IMC_OBS_COUNT("drifted.name");
+}

@@ -1,0 +1,6 @@
+#ifndef IMC_COMMON_BASE_HPP
+#define IMC_COMMON_BASE_HPP
+// imc-lint: allow(layer-violation): fixture — the inverted edge is
+// deliberate; the suppression grammar must silence the layer pass.
+#include "sim/loop.hpp"
+#endif // IMC_COMMON_BASE_HPP

@@ -1,0 +1,9 @@
+#ifndef IMC_COMMON_FAULT_HPP
+#define IMC_COMMON_FAULT_HPP
+inline constexpr const char* kFaultSites[] = {
+    "run.exec",
+    // imc-lint: allow(fault-site-dead): fixture — kept unprobed to
+    // prove the suppression silences the dead-site check.
+    "dead.site",
+};
+#endif // IMC_COMMON_FAULT_HPP

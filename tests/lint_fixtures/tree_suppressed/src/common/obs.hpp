@@ -1,0 +1,9 @@
+#ifndef IMC_COMMON_OBS_HPP
+#define IMC_COMMON_OBS_HPP
+inline constexpr const char* kObsNames[] = {
+    "good.count",
+    // imc-lint: allow(obs-name-dead): fixture — kept unrecorded to
+    // prove the suppression silences the dead-name check.
+    "dead.metric",
+};
+#endif // IMC_COMMON_OBS_HPP

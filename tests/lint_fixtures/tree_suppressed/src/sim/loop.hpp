@@ -1,0 +1,6 @@
+#ifndef IMC_SIM_LOOP_HPP
+#define IMC_SIM_LOOP_HPP
+// imc-lint: allow(include-cycle): fixture — the cycle is deliberate;
+// the suppression grammar must silence the graph pass.
+#include "common/base.hpp"
+#endif // IMC_SIM_LOOP_HPP

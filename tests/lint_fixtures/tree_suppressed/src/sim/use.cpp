@@ -1,0 +1,14 @@
+// Every cross-file violation below carries a justified suppression;
+// the whole tree must lint clean. (Fixtures are lexed, never
+// compiled.)
+void run_all(const char* key)
+{
+    IMC_FAULT_PROBE("run.exec", key, 0);
+    // imc-lint: allow(fault-site): fixture — unknown site kept to
+    // prove the suppression silences the registry cross-check.
+    IMC_FAULT_PROBE("bogus.site", key, 0);
+    IMC_OBS_COUNT("good.count");
+    // imc-lint: allow(obs-name): fixture — drifted name kept to
+    // prove the suppression silences the registry cross-check.
+    IMC_OBS_COUNT("drifted.name");
+}

@@ -1,0 +1,195 @@
+#include "internal.hpp"
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+
+/**
+ * @file
+ * The --fix rewriters for the two mechanical rules: include-order
+ * (stable-sort the include directives into own-header / <system> /
+ * "project" groups, rewriting in place) and header-guard (rename the
+ * guard pair to the expected IMC_<PATH>_HPP symbol and annotate the
+ * closing #endif). Both are deliberately conservative: a file whose
+ * preprocessor structure is unusual (conditional includes, no
+ * recognizable guard) is left untouched rather than half-fixed, and
+ * both rewrites are idempotent.
+ */
+
+namespace imc::lint {
+
+namespace {
+
+std::string
+expected_guard(const std::string& path)
+{
+    std::string p = path;
+    if (p.rfind("src/", 0) == 0)
+        p = p.substr(4);
+    std::string guard = "IMC_";
+    for (const char c : p) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            guard += static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c)));
+        else
+            guard += '_';
+    }
+    return guard;
+}
+
+std::string
+file_stem(const std::string& path)
+{
+    const std::size_t slash = path.rfind('/');
+    std::string name = slash == std::string::npos
+                           ? path
+                           : path.substr(slash + 1);
+    const std::size_t dot = name.rfind('.');
+    return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+/** Trimmed directive text when @p line is a preprocessor line. */
+std::string
+directive(const std::string& line)
+{
+    const std::size_t pos = line.find_first_not_of(" \t");
+    if (pos == std::string::npos || line[pos] != '#')
+        return "";
+    return line.substr(pos);
+}
+
+bool
+fix_include_order(const std::string& path,
+                  std::vector<std::string>& lines)
+{
+    // Reordering an include that sits under an #if would change
+    // semantics; only fix files whose conditionals are at most the
+    // header guard itself.
+    int conditionals = 0;
+    for (const std::string& l : lines) {
+        const std::string d = directive(l);
+        if (d.rfind("#if", 0) == 0)
+            ++conditionals;
+    }
+    const bool is_header =
+        path.size() >= 4 &&
+        path.compare(path.size() - 4, 4, ".hpp") == 0;
+    if (conditionals > (is_header ? 1 : 0))
+        return false;
+
+    struct Inc {
+        std::size_t index;
+        int rank;
+        std::string text;
+    };
+    const std::string own = file_stem(path);
+    std::vector<Inc> incs;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& l = lines[i];
+        std::size_t pos = l.find_first_not_of(" \t");
+        if (pos == std::string::npos ||
+            l.compare(pos, 8, "#include") != 0)
+            continue;
+        pos = l.find_first_of("<\"", pos + 8);
+        if (pos == std::string::npos)
+            continue;
+        const bool angle = l[pos] == '<';
+        int rank = angle ? 1 : 2;
+        if (!angle) {
+            const std::size_t end = l.find('"', pos + 1);
+            if (end != std::string::npos &&
+                file_stem(l.substr(pos + 1, end - pos - 1)) == own)
+                rank = 0; // the file's own header leads
+        }
+        incs.push_back({i, rank, l});
+    }
+    if (incs.empty())
+        return false;
+    std::vector<Inc> sorted = incs;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Inc& a, const Inc& b) {
+                         return a.rank < b.rank;
+                     });
+    bool changed = false;
+    for (std::size_t i = 0; i < incs.size(); ++i) {
+        if (lines[incs[i].index] != sorted[i].text) {
+            lines[incs[i].index] = sorted[i].text;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+bool
+fix_header_guard(const std::string& path,
+                 std::vector<std::string>& lines)
+{
+    if (path.size() < 4 ||
+        path.compare(path.size() - 4, 4, ".hpp") != 0)
+        return false;
+    const std::string guard = expected_guard(path);
+    // Locate the first two directives; they must already form an
+    // #ifndef/#define pair over one symbol or we refuse to guess.
+    std::size_t ifndef_i = lines.size(), define_i = lines.size();
+    std::string symbol;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string d = directive(lines[i]);
+        if (d.empty())
+            continue;
+        if (ifndef_i == lines.size()) {
+            if (d.rfind("#ifndef ", 0) != 0)
+                return false;
+            symbol = detail::trim(d.substr(8));
+            ifndef_i = i;
+        } else {
+            if (d.rfind("#define ", 0) != 0 ||
+                detail::trim(d.substr(8)) != symbol)
+                return false;
+            define_i = i;
+            break;
+        }
+    }
+    if (define_i == lines.size() || symbol.empty())
+        return false;
+    bool changed = false;
+    if (symbol != guard) {
+        lines[ifndef_i] = "#ifndef " + guard;
+        lines[define_i] = "#define " + guard;
+        changed = true;
+    }
+    // Re-annotate the closing #endif.
+    for (std::size_t i = lines.size(); i > 0; --i) {
+        const std::string& l = lines[i - 1];
+        if (l.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        const std::string want = "#endif // " + guard;
+        if (l.rfind("#endif", 0) == 0 && l != want) {
+            lines[i - 1] = want;
+            changed = true;
+        }
+        break;
+    }
+    return changed;
+}
+
+} // namespace
+
+std::optional<std::string>
+fix_content(const std::string& path, const std::string& content)
+{
+    std::vector<std::string> lines = detail::split_lines(content);
+    bool changed = false;
+    changed |= fix_header_guard(path, lines);
+    changed |= fix_include_order(path, lines);
+    if (!changed)
+        return std::nullopt;
+    std::string out;
+    for (const std::string& l : lines) {
+        out += l;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace imc::lint

@@ -1,0 +1,174 @@
+#include "internal.hpp"
+#include "lint.hpp"
+
+#include <fstream>
+#include <sstream>
+
+/**
+ * @file
+ * The incremental index cache: a line-oriented text serialization of
+ * every FileIndex, keyed on (content hash, sibling-header hash). A
+ * warm run re-lexes only files whose hashes changed and is guaranteed
+ * to report byte-identical findings to a cold run — the cache stores
+ * *everything* phase 2 consumes (facts, suppressions, per-file
+ * diagnostics), never intermediate state.
+ *
+ * The cache is an optimization, never a source of truth: any parse
+ * hiccup, version mismatch, or --allow set change discards it
+ * wholesale and the run proceeds cold.
+ */
+
+namespace imc::lint::detail {
+
+namespace {
+
+constexpr const char* kMagic = "imc-lint-cache v2";
+
+std::string
+joined_rules(const Options& opts)
+{
+    if (opts.disabled_rules.empty())
+        return "-";
+    std::string out;
+    for (const std::string& r : opts.disabled_rules) {
+        if (!out.empty())
+            out += ',';
+        out += r;
+    }
+    return out;
+}
+
+} // namespace
+
+std::map<std::string, FileIndex>
+load_cache(const std::string& path, const Options& opts)
+{
+    std::map<std::string, FileIndex> cache;
+    std::ifstream in(path);
+    if (!in)
+        return cache;
+    std::string line;
+    if (!std::getline(in, line) || line != kMagic)
+        return cache;
+    if (!std::getline(in, line) ||
+        line != "allow " + joined_rules(opts))
+        return cache; // rule set changed: findings would differ
+
+    FileIndex cur;
+    bool open = false;
+    auto fail = [&]() {
+        cache.clear();
+        return cache;
+    };
+    while (std::getline(in, line)) {
+        std::istringstream ss(line);
+        std::string tag;
+        ss >> tag;
+        if (tag == "file") {
+            if (open)
+                return fail();
+            cur = FileIndex{};
+            ss >> cur.path;
+            if (cur.path.empty())
+                return fail();
+            cur.category = detail::categorize(cur.path);
+            open = true;
+        } else if (!open) {
+            return fail();
+        } else if (tag == "hash") {
+            ss >> cur.content_hash >> cur.sibling_hash;
+        } else if (tag == "inc") {
+            IncludeRef ref;
+            int angle = 0;
+            ss >> ref.line >> angle >> ref.target;
+            ref.angle = angle != 0;
+            cur.includes.push_back(ref);
+        } else if (tag == "uno") {
+            std::string name;
+            ss >> name;
+            cur.unordered_names.insert(name);
+        } else if (tag == "fp") {
+            FaultProbe p;
+            int lit = 0;
+            ss >> p.line >> lit >> p.site;
+            p.literal = lit != 0;
+            cur.fault_probes.push_back(p);
+        } else if (tag == "obs") {
+            ObsUse u;
+            ss >> u.line >> u.pattern;
+            cur.obs_uses.push_back(u);
+        } else if (tag == "freg" || tag == "oreg") {
+            RegistryEntry e;
+            ss >> e.line >> e.name;
+            (tag == "freg" ? cur.fault_sites : cur.obs_names)
+                .push_back(e);
+        } else if (tag == "sup") {
+            SuppressionInfo s;
+            std::string rules;
+            ss >> s.target_line >> rules;
+            std::istringstream rs(rules);
+            std::string r;
+            while (std::getline(rs, r, ','))
+                s.rules.push_back(r);
+            cur.suppressions.push_back(std::move(s));
+        } else if (tag == "diag") {
+            Diagnostic d;
+            d.path = cur.path;
+            ss >> d.line >> d.rule;
+            std::getline(ss, d.message);
+            if (!d.message.empty() && d.message[0] == ' ')
+                d.message.erase(0, 1);
+            cur.diags.push_back(std::move(d));
+        } else if (tag == "end") {
+            cache[cur.path] = std::move(cur);
+            open = false;
+        } else if (!tag.empty()) {
+            return fail(); // unknown tag: newer format
+        }
+    }
+    if (open)
+        return fail(); // truncated write
+    return cache;
+}
+
+void
+save_cache(const std::string& path,
+           const std::vector<FileIndex>& index, const Options& opts)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return; // unwritable cache just means the next run is cold
+    out << kMagic << "\n";
+    out << "allow " << joined_rules(opts) << "\n";
+    for (const FileIndex& idx : index) {
+        out << "file " << idx.path << "\n";
+        out << "hash " << idx.content_hash << " " << idx.sibling_hash
+            << "\n";
+        for (const IncludeRef& r : idx.includes)
+            out << "inc " << r.line << " " << (r.angle ? 1 : 0)
+                << " " << r.target << "\n";
+        for (const std::string& n : idx.unordered_names)
+            out << "uno " << n << "\n";
+        for (const FaultProbe& p : idx.fault_probes)
+            out << "fp " << p.line << " " << (p.literal ? 1 : 0)
+                << " " << p.site << "\n";
+        for (const ObsUse& u : idx.obs_uses)
+            out << "obs " << u.line << " " << u.pattern << "\n";
+        for (const RegistryEntry& e : idx.fault_sites)
+            out << "freg " << e.line << " " << e.name << "\n";
+        for (const RegistryEntry& e : idx.obs_names)
+            out << "oreg " << e.line << " " << e.name << "\n";
+        for (const SuppressionInfo& s : idx.suppressions) {
+            out << "sup " << s.target_line << " ";
+            for (std::size_t i = 0; i < s.rules.size(); ++i)
+                out << (i ? "," : "") << s.rules[i];
+            out << "\n";
+        }
+        for (const Diagnostic& d : idx.diags)
+            out << "diag " << d.line << " " << d.rule << " "
+                << d.message << "\n";
+        out << "end\n";
+    }
+}
+
+} // namespace imc::lint::detail

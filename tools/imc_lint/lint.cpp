@@ -1,3 +1,4 @@
+#include "internal.hpp"
 #include "lint.hpp"
 
 #include <algorithm>
@@ -8,9 +9,10 @@
 
 /**
  * @file
- * The driver: file classification, suppression handling, and the
- * deterministic tree walk. Rules live in rules.cpp; this file turns
- * raw findings into the final, suppression-filtered report.
+ * The driver core: file classification, suppression handling, the
+ * deterministic tree walk, and phase 1 (index_content). Rules live in
+ * rules.cpp, the incremental cache in index.cpp, and the phase-2
+ * project passes in project.cpp.
  */
 
 namespace imc::lint {
@@ -18,6 +20,36 @@ namespace imc::lint {
 namespace {
 
 namespace fs = std::filesystem;
+
+bool
+lintable(const fs::path& p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".hpp" || ext == ".cpp" || ext == ".h" ||
+           ext == ".cc";
+}
+
+bool
+skipped_dir(const std::string& name)
+{
+    return name == "build" || name == ".git" ||
+           name == "lint_fixtures" || name == "CMakeFiles";
+}
+
+void
+sort_diags(std::vector<Diagnostic>& diags)
+{
+    std::sort(diags.begin(), diags.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+}
+
+} // namespace
+
+namespace detail {
 
 Category
 categorize(const std::string& path)
@@ -64,13 +96,6 @@ trim(const std::string& s)
     return s.substr(a, b - a + 1);
 }
 
-/** One parsed allow(<rules>) suppression directive. */
-struct Suppression {
-    std::vector<std::string> rules;
-    int target_line = 0; ///< line the suppression covers
-    int comment_line = 0;
-};
-
 /**
  * Parse suppressions out of the comment stream. A trailing comment
  * covers its own line; a comment-only line covers the next line that
@@ -78,10 +103,10 @@ struct Suppression {
  * naturally). Malformed directives become lint-suppression
  * diagnostics instead of silently suppressing nothing.
  */
-std::vector<Suppression>
-parse_suppressions(const FileContext& ctx,
-                   std::vector<Diagnostic>& diags)
+ParsedSuppressions
+parse_suppressions(const FileContext& ctx)
 {
+    ParsedSuppressions out;
     // Lines that carry at least one code token, for own-line
     // comment target resolution.
     std::vector<int> code_lines;
@@ -90,14 +115,13 @@ parse_suppressions(const FileContext& ctx,
         if (code_lines.empty() || code_lines.back() != t.line)
             code_lines.push_back(t.line);
 
-    std::vector<Suppression> out;
     for (const Comment& c : ctx.lex.comments) {
         const std::size_t pos = c.text.find("imc-lint:");
         if (pos == std::string::npos)
             continue;
         auto malformed = [&](const std::string& why) {
-            diags.push_back({"lint-suppression", ctx.path, c.line,
-                             "malformed suppression: " + why});
+            out.meta.push_back({"lint-suppression", ctx.path, c.line,
+                                "malformed suppression: " + why});
         };
         const std::string rest = trim(c.text.substr(pos + 9));
         if (rest.rfind("allow", 0) != 0) {
@@ -111,8 +135,7 @@ parse_suppressions(const FileContext& ctx,
             malformed("expected 'allow(<rule>): <justification>'");
             continue;
         }
-        Suppression sup;
-        sup.comment_line = c.line;
+        SuppressionInfo sup;
         std::stringstream list(rest.substr(open + 1, close - open - 1));
         std::string rule;
         bool rules_ok = true;
@@ -145,18 +168,17 @@ parse_suppressions(const FileContext& ctx,
             // Covers the next code-bearing line.
             const auto it = std::upper_bound(code_lines.begin(),
                                              code_lines.end(), c.line);
-            sup.target_line =
-                it == code_lines.end() ? c.line : *it;
+            sup.target_line = it == code_lines.end() ? c.line : *it;
         } else {
             sup.target_line = c.line;
         }
-        out.push_back(std::move(sup));
+        out.sups.push_back(std::move(sup));
     }
     return out;
 }
 
 void
-apply_suppressions(const std::vector<Suppression>& sups,
+apply_suppressions(const std::vector<SuppressionInfo>& sups,
                    std::vector<Diagnostic>& diags)
 {
     diags.erase(
@@ -165,7 +187,7 @@ apply_suppressions(const std::vector<Suppression>& sups,
             [&](const Diagnostic& d) {
                 if (d.rule == "lint-suppression")
                     return false; // the audit trail itself
-                for (const Suppression& s : sups) {
+                for (const SuppressionInfo& s : sups) {
                     if (d.line != s.target_line)
                         continue;
                     if (std::find(s.rules.begin(), s.rules.end(),
@@ -177,58 +199,95 @@ apply_suppressions(const std::vector<Suppression>& sups,
         diags.end());
 }
 
-std::string
-read_file(const fs::path& p)
+bool
+suppressed(const FileIndex& idx, const Diagnostic& d)
 {
-    std::ifstream in(p, std::ios::binary);
+    if (d.rule == "lint-suppression")
+        return false;
+    for (const SuppressionInfo& s : idx.suppressions) {
+        if (d.line != s.target_line)
+            continue;
+        if (std::find(s.rules.begin(), s.rules.end(), d.rule) !=
+            s.rules.end())
+            return true;
+    }
+    return false;
+}
+
+std::string
+read_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
     std::ostringstream ss;
     ss << in.rdbuf();
     return ss.str();
 }
 
-bool
-lintable(const fs::path& p)
+} // namespace detail
+
+std::uint64_t
+content_hash(const std::string& content)
 {
-    const std::string ext = p.extension().string();
-    return ext == ".hpp" || ext == ".cpp" || ext == ".h" ||
-           ext == ".cc";
+    // FNV-1a 64: tiny, stable across platforms, and collisions only
+    // cost a stale cache entry, never a wrong finding (the cache is
+    // re-validated against the sibling hash too).
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char c : content) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
 }
 
-bool
-skipped_dir(const std::string& name)
+FileIndex
+index_content(const std::string& path, const std::string& content,
+              const std::string& sibling_header_content,
+              const Options& opts)
 {
-    return name == "build" || name == ".git" ||
-           name == "lint_fixtures" || name == "CMakeFiles";
-}
+    FileContext ctx;
+    ctx.path = path;
+    ctx.category = detail::categorize(path);
+    ctx.lines = detail::split_lines(content);
+    ctx.lex = lex(content);
+    if (!sibling_header_content.empty())
+        ctx.extra_unordered_names =
+            unordered_decl_names_in(sibling_header_content);
 
-} // namespace
+    FileIndex idx;
+    idx.path = path;
+    idx.category = ctx.category;
+    idx.content_hash = content_hash(content);
+    idx.sibling_hash = sibling_header_content.empty()
+                           ? 0
+                           : content_hash(sibling_header_content);
+    idx.includes = detail::extract_includes(ctx.lines);
+    idx.unordered_names = unordered_decl_names_in(content);
+    idx.fault_probes = detail::extract_fault_probes(ctx.lex, path);
+    idx.obs_uses = detail::extract_obs_uses(ctx.lex, path);
+    if (path == "src/common/fault.hpp")
+        idx.fault_sites =
+            detail::extract_registry_array(ctx.lex, "kFaultSites");
+    if (path == "src/common/obs.hpp")
+        idx.obs_names =
+            detail::extract_registry_array(ctx.lex, "kObsNames");
+
+    std::vector<Diagnostic> diags = run_rules(ctx, opts);
+    detail::ParsedSuppressions ps = detail::parse_suppressions(ctx);
+    detail::apply_suppressions(ps.sups, diags);
+    diags.insert(diags.end(), ps.meta.begin(), ps.meta.end());
+    sort_diags(diags);
+    idx.suppressions = std::move(ps.sups);
+    idx.diags = std::move(diags);
+    return idx;
+}
 
 std::vector<Diagnostic>
 lint_content(const std::string& path, const std::string& content,
              const std::string& sibling_header_content,
              const Options& opts)
 {
-    FileContext ctx;
-    ctx.path = path;
-    ctx.category = categorize(path);
-    ctx.lines = split_lines(content);
-    ctx.lex = lex(content);
-    if (!sibling_header_content.empty())
-        ctx.extra_unordered_names =
-            unordered_decl_names_in(sibling_header_content);
-    std::vector<Diagnostic> diags = run_rules(ctx, opts);
-    std::vector<Diagnostic> meta;
-    const std::vector<Suppression> sups =
-        parse_suppressions(ctx, meta);
-    apply_suppressions(sups, diags);
-    diags.insert(diags.end(), meta.begin(), meta.end());
-    std::sort(diags.begin(), diags.end(),
-              [](const Diagnostic& a, const Diagnostic& b) {
-                  if (a.line != b.line)
-                      return a.line < b.line;
-                  return a.rule < b.rule;
-              });
-    return diags;
+    return index_content(path, content, sibling_header_content, opts)
+        .diags;
 }
 
 std::vector<Diagnostic>
@@ -238,9 +297,9 @@ lint_content(const std::string& path, const std::string& content,
     return lint_content(path, content, std::string(), opts);
 }
 
-std::vector<Diagnostic>
-lint_tree(const std::string& root_dir,
-          const std::vector<std::string>& roots, const Options& opts)
+std::vector<std::string>
+lintable_files(const std::string& root_dir,
+               const std::vector<std::string>& roots)
 {
     const fs::path root = root_dir.empty() ? fs::path(".")
                                            : fs::path(root_dir);
@@ -265,27 +324,14 @@ lint_tree(const std::string& root_dir,
                 files.push_back(it->path());
         }
     }
+    std::vector<std::string> rel;
+    rel.reserve(files.size());
+    for (const fs::path& f : files)
+        rel.push_back(fs::relative(f, root).generic_string());
     // Deterministic report order regardless of directory layout.
-    std::sort(files.begin(), files.end());
-    files.erase(std::unique(files.begin(), files.end()),
-                files.end());
-
-    std::vector<Diagnostic> all;
-    for (const fs::path& f : files) {
-        const std::string rel =
-            fs::relative(f, root).generic_string();
-        std::string sibling;
-        if (f.extension() == ".cpp" || f.extension() == ".cc") {
-            fs::path header = f;
-            header.replace_extension(".hpp");
-            if (fs::is_regular_file(header))
-                sibling = read_file(header);
-        }
-        std::vector<Diagnostic> diags =
-            lint_content(rel, read_file(f), sibling, opts);
-        all.insert(all.end(), diags.begin(), diags.end());
-    }
-    return all;
+    std::sort(rel.begin(), rel.end());
+    rel.erase(std::unique(rel.begin(), rel.end()), rel.end());
+    return rel;
 }
 
 } // namespace imc::lint

@@ -3,15 +3,37 @@
 
 /**
  * @file
- * imc-lint — the project-invariant static-analysis pass.
+ * imc-lint — the project-invariant static analyzer.
  *
  * The compiler checks types; this tool checks the *project's*
- * contracts, the ones PR review used to check by convention:
+ * contracts, the ones PR review used to check by convention. Since
+ * v2 it is a two-phase, whole-tree analyzer rather than a per-file
+ * rule runner:
+ *
+ *   phase 1  every file under the linted roots is lexed once into a
+ *            FileIndex — include directives, unordered-container
+ *            declarations, IMC_FAULT_PROBE site literals, IMC_OBS_*
+ *            name patterns, registry arrays, suppression comments,
+ *            and the per-file rule findings. Indices are cached on a
+ *            content hash (--cache), so a warm run re-lexes only
+ *            what changed and returns byte-identical findings.
+ *
+ *   phase 2  cross-file passes run over the merged index: the
+ *            project include graph (cycles + the layering policy in
+ *            tools/imc_lint/layers.txt), and used⇔registered
+ *            cross-checks of fault-probe sites against
+ *            src/common/fault.hpp's kFaultSites and of obs metric
+ *            names against src/common/obs.hpp's kObsNames.
+ *
+ * Per-file rules:
  *
  *  - determinism-rand        no wall-clock / libc randomness in code
  *                            that can feed recorded figures
- *  - determinism-unordered-iter  no iteration over unordered
- *                            containers (order leaks into output)
+ *  - determinism-taint       values sourced from unordered-container
+ *                            iteration, pointer-to-integer casts,
+ *                            'this' hashing, or thread ids must not
+ *                            flow into digests, serialized output,
+ *                            LatencyRecorder, or RNG fork names
  *  - banned-number-parse     no atoi/atof/strtol-family parsing
  *                            (use the strict Cli / serialize paths)
  *  - banned-printf           no printf-family output in library code
@@ -28,11 +50,25 @@
  *                            macros (keeps IMC_FAULT_DISABLED
  *                            zero-cost)
  *  - fault-site              IMC_FAULT_PROBE sites must be string
- *                            literals from the registered site table
- *                            (src/common/fault.hpp) so chaos
- *                            schedules never silently miss a probe
+ *                            literals (phase 1) drawn from the
+ *                            registered site table (phase 2)
  *  - lint-suppression        suppressions must parse, name a known
  *                            rule, and carry a justification
+ *
+ * Cross-file rules (phase 2):
+ *
+ *  - include-cycle           the project include graph must be a DAG
+ *  - layer-violation         include edges must respect the layering
+ *                            policy (layers.txt); tools/ may reach
+ *                            src/ only through declared public
+ *                            headers
+ *  - layer-policy            layers.txt itself must parse
+ *  - fault-site-dead         every registered fault site must be
+ *                            probed somewhere
+ *  - obs-name                every IMC_OBS_* name in src/ must be
+ *                            registered in kObsNames
+ *  - obs-name-dead           every registered obs name must be
+ *                            recorded somewhere
  *
  * A violation is silenced with a suppression comment on the same
  * line or on a comment-only line directly above, and MUST carry a
@@ -43,11 +79,17 @@
  *
  * Unjustified or unknown-rule suppressions are themselves
  * diagnostics, so the suppression surface stays auditable.
+ * Suppressions apply to cross-file findings too (at the line the
+ * finding is reported on — the #include edge, the probe, or the
+ * registry entry).
  */
 
+#include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lexer.hpp"
@@ -69,6 +111,12 @@ struct Diagnostic {
     std::string path; ///< root-relative, '/' separators
     int line = 0;
     std::string message;
+
+    bool operator==(const Diagnostic& o) const
+    {
+        return rule == o.rule && path == o.path && line == o.line &&
+               message == o.message;
+    }
 };
 
 /** Everything a rule sees about one translation unit. */
@@ -90,13 +138,193 @@ struct Options {
     std::set<std::string> disabled_rules;
 };
 
+// --- Phase 1: the per-file index --------------------------------------
+
+/** One #include directive. */
+struct IncludeRef {
+    int line = 0;
+    std::string target; ///< as written between the delimiters
+    bool angle = false; ///< <system> vs "project"
+};
+
+/** One IMC_FAULT_PROBE site argument. */
+struct FaultProbe {
+    int line = 0;
+    std::string site; ///< empty when not a string literal
+    bool literal = false;
+};
+
+/** One IMC_OBS_* name argument, normalized to a pattern. */
+struct ObsUse {
+    int line = 0;
+    /**
+     * The literal fragments of the name expression joined with one
+     * '*' per dynamic fragment: a plain literal indexes as itself,
+     * `"fault.injected." + site` as "fault.injected.*", and a fully
+     * dynamic name as "*".
+     */
+    std::string pattern;
+};
+
+/** One entry of a kFaultSites / kObsNames registry array. */
+struct RegistryEntry {
+    int line = 0;
+    std::string name;
+};
+
+/** One parsed, valid allow(<rules>) suppression. */
+struct SuppressionInfo {
+    std::vector<std::string> rules;
+    int target_line = 0;
+};
+
+/** The phase-1 product for one file. */
+struct FileIndex {
+    std::string path;
+    Category category = Category::Library;
+    std::uint64_t content_hash = 0;
+    std::uint64_t sibling_hash = 0; ///< 0 when no sibling header
+    std::vector<IncludeRef> includes;
+    /** Unordered-container names declared here (exported to the
+     * sibling .cpp's taint pass). */
+    std::set<std::string> unordered_names;
+    std::vector<FaultProbe> fault_probes;
+    std::vector<ObsUse> obs_uses;
+    /** kFaultSites entries (populated only for src/common/fault.hpp). */
+    std::vector<RegistryEntry> fault_sites;
+    /** kObsNames entries (populated only for src/common/obs.hpp). */
+    std::vector<RegistryEntry> obs_names;
+    std::vector<SuppressionInfo> suppressions;
+    /** Per-file findings, suppressions already applied (including
+     * the lint-suppression meta findings). */
+    std::vector<Diagnostic> diags;
+};
+
+/** FNV-1a 64 of @p content — the incremental-cache key. */
+std::uint64_t content_hash(const std::string& content);
+
+/**
+ * Phase 1 for one file: lex, run the per-file rules, apply
+ * suppressions, and extract every cross-file fact.
+ */
+FileIndex index_content(const std::string& path,
+                        const std::string& content,
+                        const std::string& sibling_header_content,
+                        const Options& opts);
+
+// --- Phase 2: the project analysis ------------------------------------
+
+/** Parsed layering policy (tools/imc_lint/layers.txt). */
+struct LayerPolicy {
+    struct Layer {
+        std::string name;
+        std::string prefix; ///< path prefix, e.g. "src/common/"
+    };
+    std::vector<Layer> layers; ///< declaration order
+    /** layer -> layers it may include (itself is always allowed). */
+    std::map<std::string, std::set<std::string>> allowed;
+    /** src/ headers tools/ may include. */
+    std::set<std::string> public_headers;
+    /** Parse errors (rule layer-policy). */
+    std::vector<Diagnostic> errors;
+};
+
+/** Parse @p text; @p path is used for error diagnostics. */
+LayerPolicy parse_layer_policy(const std::string& text,
+                               const std::string& path);
+
+struct ProjectOptions {
+    Options rules;
+    /**
+     * Run the registered-but-unused directions (fault-site-dead,
+     * obs-name-dead). Only meaningful when the whole tree is being
+     * analyzed; the CLI disables them for explicit PATH subsets.
+     */
+    bool dead_checks = true;
+    /** Layer policy text; empty disables the layering pass. */
+    std::string layers_text;
+    /** Path the policy was read from (for diagnostics). */
+    std::string layers_path = "tools/imc_lint/layers.txt";
+};
+
+struct ProjectStats {
+    std::size_t files = 0;
+    std::size_t files_reused = 0; ///< indices served from the cache
+    std::size_t include_edges = 0;
+    std::size_t diagnostics = 0;
+    std::size_t suppressions = 0;
+    /** Malformed/unjustified suppressions (lint-suppression count). */
+    std::size_t suppressed_without_reason = 0;
+};
+
+struct ProjectResult {
+    /** All findings, sorted by path, then line, then rule. */
+    std::vector<Diagnostic> diags;
+    ProjectStats stats;
+    /** The merged phase-1 index, sorted by path. */
+    std::vector<FileIndex> index;
+};
+
+/**
+ * Analyze an in-memory project given as (root-relative path,
+ * content) pairs — the unit-test entry point. Registry arrays are
+ * read from "src/common/fault.hpp" / "src/common/obs.hpp" when those
+ * paths are present; the layer policy comes from @p opts.
+ */
+ProjectResult
+analyze_files(const std::vector<std::pair<std::string, std::string>>& files,
+              const ProjectOptions& opts);
+
+/**
+ * Analyze the on-disk tree: walk @p roots (files or directories)
+ * under @p root_dir exactly like lint_tree, load the layer policy
+ * and the registry headers from the tree, and run both phases. When
+ * @p cache_path is non-empty, per-file indices are reused from the
+ * cache file when the content hash (and the sibling header's hash)
+ * match, and the cache is rewritten afterwards; a warm run returns
+ * findings byte-identical to a cold one.
+ */
+ProjectResult analyze_tree(const std::string& root_dir,
+                           const std::vector<std::string>& roots,
+                           const ProjectOptions& opts,
+                           const std::string& cache_path = "");
+
+/** The walk behind analyze_tree: root-relative lintable files. */
+std::vector<std::string>
+lintable_files(const std::string& root_dir,
+               const std::vector<std::string>& roots);
+
+// --- Output -----------------------------------------------------------
+
+/** SARIF 2.1.0 log of @p r (GitHub code-scanning ingestible). */
+void write_sarif(std::ostream& os, const ProjectResult& r);
+
+/** The project include graph as GraphViz DOT, layers as clusters. */
+void write_include_dot(std::ostream& os, const ProjectResult& r);
+
+/** Stable "key value" lines (the CI --stats contract). */
+void write_stats(std::ostream& os, const ProjectStats& s);
+
+// --- Fixing -----------------------------------------------------------
+
+/**
+ * Mechanically fix the include-order and header-guard findings in
+ * @p content. Returns the rewritten content, or std::nullopt when
+ * nothing needed fixing. Idempotent: fix_content(fix_content(x)) is
+ * always nullopt. Opt-in via the CLI --fix flag; never run in CI.
+ */
+std::optional<std::string> fix_content(const std::string& path,
+                                       const std::string& content);
+
+// --- Compatibility entry points ---------------------------------------
+
 /** Rule id -> one-line description, for --list-rules and tests. */
 const std::map<std::string, std::string>& rule_descriptions();
 
 /**
- * Lint one file's content. @p path must be root-relative with '/'
- * separators; it decides the category and the header-guard name.
- * Suppressions have already been applied to the result.
+ * Lint one file's content (phase 1 only). @p path must be
+ * root-relative with '/' separators; it decides the category and the
+ * header-guard name. Suppressions have already been applied.
  */
 std::vector<Diagnostic> lint_content(const std::string& path,
                                      const std::string& content,
@@ -108,20 +336,8 @@ lint_content(const std::string& path, const std::string& content,
              const std::string& sibling_header_content,
              const Options& opts);
 
-/**
- * Walk @p roots (files or directories) under @p root_dir, lint every
- * .hpp/.cpp/.h/.cc file, and return all diagnostics sorted by path
- * then line. Directories named build, .git, or lint_fixtures are
- * skipped (fixtures contain violations on purpose); explicitly
- * listed files are always linted.
- */
-std::vector<Diagnostic>
-lint_tree(const std::string& root_dir,
-          const std::vector<std::string>& roots,
-          const Options& opts = {});
-
 // Internal entry point shared by lint_content and the tests: run the
-// rules without applying suppressions.
+// per-file rules without applying suppressions.
 std::vector<Diagnostic> run_rules(const FileContext& ctx,
                                   const Options& opts);
 

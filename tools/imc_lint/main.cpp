@@ -2,14 +2,20 @@
  * @file
  * imc_lint CLI.
  *
- *   imc_lint [--root DIR] [--allow RULE]... [PATH]...
+ *   imc_lint [--root DIR] [--allow RULE]... [--sarif FILE]
+ *            [--dot FILE] [--cache FILE] [--stats] [--fix]
+ *            [--list-rules] [PATH]...
  *
  * PATHs (files or directories, relative to --root) default to the
- * four linted trees: src examples bench tests tools. Exit status is
- * 0 when clean, 1 when diagnostics were emitted, 2 on usage errors —
- * so the ctest / CI wiring is a bare invocation.
+ * five linted trees: src examples bench tests tools. The
+ * registered-but-unused passes (fault-site-dead, obs-name-dead) run
+ * only on that default whole-tree scope — a single-file run cannot
+ * know a site is probed elsewhere. Exit status is 0 when clean, 1
+ * when diagnostics were emitted, 2 on usage errors — so the ctest /
+ * CI wiring is a bare invocation.
  */
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -22,14 +28,34 @@ int
 usage(std::ostream& os, int code)
 {
     os << "usage: imc_lint [--root DIR] [--allow RULE]... "
+          "[--sarif FILE] [--dot FILE]\n"
+          "                [--cache FILE] [--stats] [--fix] "
           "[--list-rules] [PATH]...\n"
           "  --root DIR    resolve PATHs and report paths relative "
           "to DIR (default .)\n"
           "  --allow RULE  disable RULE everywhere (prefer inline "
           "justified suppressions)\n"
+          "  --sarif FILE  also write the findings as SARIF 2.1.0\n"
+          "  --dot FILE    also write the project include graph as "
+          "GraphViz DOT\n"
+          "  --cache FILE  reuse / rewrite the incremental index "
+          "cache at FILE\n"
+          "  --stats       print analyzer statistics to stdout\n"
+          "  --fix         rewrite include-order / header-guard "
+          "findings in place\n"
+          "                (opt-in; never run in CI)\n"
           "  --list-rules  print rule ids and one-line "
           "descriptions\n";
     return code;
+}
+
+std::string
+read_all(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string out((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    return out;
 }
 
 } // namespace
@@ -38,7 +64,9 @@ int
 main(int argc, char** argv)
 {
     std::string root = ".";
-    imc::lint::Options opts;
+    std::string sarif_path, dot_path, cache_path;
+    bool stats = false, fix = false;
+    imc::lint::ProjectOptions opts;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -50,10 +78,28 @@ main(int argc, char** argv)
                 std::cout << rule << ": " << desc << "\n";
             return 0;
         }
-        if (arg == "--root") {
+        auto value = [&](std::string& into) {
             if (++i >= argc)
+                return false;
+            into = argv[i];
+            return true;
+        };
+        if (arg == "--root") {
+            if (!value(root))
                 return usage(std::cerr, 2);
-            root = argv[i];
+        } else if (arg == "--sarif") {
+            if (!value(sarif_path))
+                return usage(std::cerr, 2);
+        } else if (arg == "--dot") {
+            if (!value(dot_path))
+                return usage(std::cerr, 2);
+        } else if (arg == "--cache") {
+            if (!value(cache_path))
+                return usage(std::cerr, 2);
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--fix") {
+            fix = true;
         } else if (arg == "--allow") {
             if (++i >= argc)
                 return usage(std::cerr, 2);
@@ -62,7 +108,7 @@ main(int argc, char** argv)
                           << "' (try --list-rules)\n";
                 return 2;
             }
-            opts.disabled_rules.insert(argv[i]);
+            opts.rules.disabled_rules.insert(argv[i]);
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "imc_lint: unknown option '" << arg
                       << "'\n";
@@ -71,15 +117,50 @@ main(int argc, char** argv)
             paths.push_back(arg);
         }
     }
+    // Dead-site detection needs the whole tree in view: an explicit
+    // PATH subset would report every site unprobed.
+    opts.dead_checks = paths.empty();
     if (paths.empty())
         paths = {"src", "examples", "bench", "tests", "tools"};
 
-    const std::vector<imc::lint::Diagnostic> diags =
-        imc::lint::lint_tree(root, paths, opts);
-    for (const auto& d : diags)
+    if (fix) {
+        std::size_t fixed = 0;
+        for (const std::string& rel :
+             imc::lint::lintable_files(root, paths)) {
+            const std::string full = root + "/" + rel;
+            const auto rewritten =
+                imc::lint::fix_content(rel, read_all(full));
+            if (!rewritten)
+                continue;
+            std::ofstream out(full, std::ios::binary |
+                                        std::ios::trunc);
+            out << *rewritten;
+            std::cout << "fixed " << rel << "\n";
+            ++fixed;
+        }
+        std::cerr << "imc_lint: rewrote " << fixed << " file"
+                  << (fixed == 1 ? "" : "s") << "\n";
+    }
+
+    const imc::lint::ProjectResult result =
+        imc::lint::analyze_tree(root, paths, opts, cache_path);
+    for (const auto& d : result.diags)
         std::cout << d.path << ":" << d.line << ": [" << d.rule
                   << "] " << d.message << "\n";
-    std::cerr << "imc_lint: " << diags.size() << " diagnostic"
-              << (diags.size() == 1 ? "" : "s") << "\n";
-    return diags.empty() ? 0 : 1;
+    if (!sarif_path.empty()) {
+        std::ofstream out(sarif_path, std::ios::trunc);
+        imc::lint::write_sarif(out, result);
+    }
+    if (!dot_path.empty()) {
+        std::ofstream out(dot_path, std::ios::trunc);
+        imc::lint::write_include_dot(out, result);
+    }
+    if (stats)
+        imc::lint::write_stats(std::cout, result.stats);
+    std::cerr << "imc_lint: " << result.diags.size()
+              << " diagnostic"
+              << (result.diags.size() == 1 ? "" : "s") << " across "
+              << result.stats.files << " files ("
+              << result.stats.files_reused << " cached)\n";
+    return result.diags.empty() ? 0 : 1;
 }
