@@ -67,11 +67,12 @@ inline constexpr const char* kObsNames[] = {
     "placement.recover",
     "placement.recovered_units",
     // profilers: spans per algorithm plus per-algorithm cost
-    // counters emitted under a dynamic "<subsystem>.<algo>" prefix
-    "profile.binary-brute",
-    "profile.binary-optimized",
-    "profile.exhaustive",
-    "profile.random",
+    // counters, all under one "profiler.<algo>" prefix so a single
+    // grep over a metrics dump finds a whole algorithm's row
+    "profiler.binary-brute",
+    "profiler.binary-optimized",
+    "profiler.exhaustive",
+    "profiler.random",
     "*.runs",
     "*.measured",
     "*.interpolated",

@@ -266,7 +266,7 @@ finish(Grid grid, CountingMeasure& measure, const ProfileOptions& opts,
 ProfileResult
 profile_exhaustive(CountingMeasure& measure, const ProfileOptions& opts)
 {
-    IMC_OBS_SPAN(span, "profile.exhaustive");
+    IMC_OBS_SPAN(span, "profiler.exhaustive");
     Grid grid = make_grid(opts);
     const int n = opts.pressure_levels();
     const int m = opts.hosts;
@@ -296,7 +296,7 @@ profile_exhaustive(CountingMeasure& measure, const ProfileOptions& opts)
 ProfileResult
 profile_binary_brute(CountingMeasure& measure, const ProfileOptions& opts)
 {
-    IMC_OBS_SPAN(span, "profile.binary-brute");
+    IMC_OBS_SPAN(span, "profiler.binary-brute");
     Grid grid = make_grid(opts);
     const int n = opts.pressure_levels();
     const int m = opts.hosts;
@@ -327,7 +327,7 @@ ProfileResult
 profile_binary_optimized(CountingMeasure& measure,
                          const ProfileOptions& opts)
 {
-    IMC_OBS_SPAN(span, "profile.binary-optimized");
+    IMC_OBS_SPAN(span, "profiler.binary-optimized");
     Grid grid = make_grid(opts);
     const int n = opts.pressure_levels();
     const int m = opts.hosts;
@@ -387,7 +387,7 @@ profile_random(CountingMeasure& measure, const ProfileOptions& opts,
 {
     require(fraction > 0.0 && fraction <= 1.0,
             "profile_random: fraction must be in (0, 1]");
-    IMC_OBS_SPAN(span, "profile.random");
+    IMC_OBS_SPAN(span, "profiler.random");
     Grid grid = make_grid(opts);
     const int n = opts.pressure_levels();
     const int m = opts.hosts;

@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 #include "core/profilers.hpp"
 
 using namespace imc;
@@ -66,6 +67,28 @@ TEST(ProfileExhaustive, ReproducesSurfaceExactly)
         for (int j = 0; j <= 8; ++j)
             EXPECT_DOUBLE_EQ(result.matrix.at(p, j), high_prop(p, j));
     }
+}
+
+// Regression: the timing span and the cost counters of one profiling
+// run must share a single "profiler.<algo>" prefix. The span used to
+// be named "profile.<algo>" while the counters were
+// "profiler.<algo>.*", so one grep over a metrics dump could never
+// find a whole algorithm's row.
+TEST(ProfileExhaustive, ObsSpanAndCountersShareOnePrefix)
+{
+    obs::reset();
+    obs::set_enabled(true);
+    {
+        CountingMeasure measure{MeasureFn(high_prop)};
+        (void)profile_exhaustive(measure, opts8());
+    }
+    EXPECT_EQ(obs::counter_value("profiler.exhaustive.runs"), 1u);
+    EXPECT_EQ(obs::counter_value("profiler.exhaustive.measured"),
+              64u);
+    EXPECT_EQ(
+        obs::histogram_snapshot("profiler.exhaustive.us").count, 1u);
+    obs::set_enabled(false);
+    obs::reset();
 }
 
 TEST(CountingMeasure, CachesAndCounts)
