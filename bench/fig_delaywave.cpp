@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Delay-wave propagation study (DESIGN.md §11): inject one-off
+ * delays into a quiet neighbor-coupled BSP cluster, fit the idle
+ * wave's propagation speed and decay length from the captured
+ * timelines, and compare both against the Afzal–Hager–Wellein
+ * analytic model ("Propagation and Decay of Injected One-Off Delays
+ * on Clusters", PAPERS.md).
+ *
+ * The sweep crosses collective period x noise level x delay
+ * magnitude x injection rank, pooling every point over --seeds
+ * repeated captures. Each row is gated: the fitted speed must land
+ * within --max-fit-err of the analytic pace, and the fitted decay
+ * length within a factor --decay-band of the mean-field prediction
+ * (both sides undamped on silent rows). A violated gate turns the
+ * row's verdict to FAIL and the exit status to 1, so the CI smoke
+ * run enforces the physics, not just the formatting.
+ *
+ * The injected delay itself travels through the armed fault
+ * schedule ("bsp.inject" slow clauses) — exactly the experiment's
+ * methodology. Passing --fault-seed/--fault-spec replaces the
+ * bench's own arming with yours (e.g. to add sim.crash chaos), in
+ * which case your spec must include a bsp.inject clause for any
+ * wave to exist.
+ *
+ * Usage: fig_delaywave [--nodes N] [--procs-per-node P] [--iters I]
+ *                      [--work W] [--sync-cost C] [--periods 1,3]
+ *                      [--sigmas 0,0.1,0.2] [--delays 0.3,0.6]
+ *                      [--inject-ranks R1,R2] [--seeds K] [--seed S]
+ *                      [--threads T] [--max-fit-err E]
+ *                      [--decay-band B] [--csv]
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/obs.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "sim/wave.hpp"
+#include "workload/delaywave.hpp"
+
+using namespace imc;
+using namespace imc::workload;
+
+namespace {
+
+std::vector<double>
+double_list(const Cli& cli, const std::string& flag,
+            std::vector<double> def)
+{
+    const auto items = cli.get_list(flag);
+    if (items.empty())
+        return def;
+    std::vector<double> out;
+    for (const auto& item : items)
+        out.push_back(std::stod(item));
+    return out;
+}
+
+std::vector<int>
+int_list(const Cli& cli, const std::string& flag, std::vector<int> def)
+{
+    const auto items = cli.get_list(flag);
+    if (items.empty())
+        return def;
+    std::vector<int> out;
+    for (const auto& item : items)
+        out.push_back(std::stoi(item));
+    return out;
+}
+
+std::string
+fmt_len(double len)
+{
+    return std::isinf(len) ? std::string("inf") : fmt_fixed(len, 1);
+}
+
+/** ASCII wave chart: one row per sync, one column per rank, the
+ *  extra idle time bucketed into ' ' < '.' < ':' < '*' < '#'. */
+void
+print_wave_chart(std::ostream& os, const sim::Timeline& injected,
+                 const sim::Timeline& baseline, int period,
+                 double delay)
+{
+    const auto waits = sim::wave::extra_wait_field(injected, baseline);
+    const int ranks = injected.ranks();
+    const int iters = injected.iters();
+    os << "Extra idle time per (sync, rank); scale '#' >= "
+       << fmt_fixed(0.75 * delay, 2) << "s of " << fmt_fixed(delay, 2)
+       << "s injected:\n";
+    int shown = 0;
+    for (int k = period - 1; k < iters && shown < 60; k += period) {
+        std::string row;
+        double row_max = 0.0;
+        for (int r = 0; r < ranks; ++r) {
+            const double w = std::max(
+                0.0, waits[static_cast<std::size_t>(r * iters + k)]);
+            row_max = std::max(row_max, w);
+            const double frac = w / delay;
+            row += frac >= 0.75  ? '#'
+                   : frac >= 0.5 ? '*'
+                   : frac >= 0.2 ? ':'
+                   : frac > 0.0  ? '.'
+                                 : ' ';
+        }
+        ++shown;
+        os << (k < 10 ? "   " : k < 100 ? "  " : " ") << k << " |"
+           << row << "|\n";
+        // Stop a few syncs after the wave has left the chain.
+        if (shown > 8 && row_max <= 0.0)
+            break;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const Cli cli(argc, argv);
+    const obs::Session obs_session(cli);
+    const fault::Session fault_session(cli);
+    const bool user_armed =
+        cli.has("fault-seed") || cli.has("fault-spec");
+
+    delaywave::Scenario proto;
+    proto.nodes = cli.get_int("nodes", 24);
+    proto.procs_per_node = cli.get_int("procs-per-node", 4);
+    proto.work = cli.get_double("work", 0.1);
+    proto.sync_cost = cli.get_double("sync-cost", 0.002);
+    const int base_iters = cli.get_int("iters", 120);
+    const std::uint64_t seed0 = cli.get_u64("seed", 42);
+    const int seeds = cli.get_int("seeds", 4);
+    const int threads = cli.get_int("threads", 1);
+    const double max_fit_err = cli.get_double("max-fit-err", 0.10);
+    const double decay_band = cli.get_double("decay-band", 2.0);
+    const int inject_iter = 4;
+
+    const auto periods = int_list(cli, "periods", {1, 3});
+    const auto sigmas = double_list(cli, "sigmas", {0.0, 0.1, 0.2});
+    // Default delays sit well above each sigma's per-period noise
+    // scale: the estimator needs a few coherent hops before the wave
+    // falls under half the injected delay, so delay / (sigma * work)
+    // below ~10 leaves too few ranks to fit (DESIGN.md #11).
+    const auto delays = double_list(cli, "delays", {0.3, 0.6});
+    const int total_ranks = delaywave::ranks(proto);
+    const auto inject_ranks = int_list(
+        cli, "inject-ranks", {total_ranks / 4, total_ranks / 2});
+    require(seeds >= 1, "fig_delaywave: --seeds must be >= 1");
+    for (const int rank : inject_ranks)
+        require(rank >= 0 && rank < total_ranks,
+                "fig_delaywave: --inject-ranks out of range");
+
+    std::cout << "Delay-wave propagation vs the Afzal-Hager-Wellein "
+                 "model\n(ranks="
+              << total_ranks << ", iters=" << base_iters
+              << "/period, work=" << fmt_fixed(proto.work, 3)
+              << "s, sync_cost=" << fmt_fixed(proto.sync_cost, 3)
+              << "s, seeds pooled=" << seeds << ", seed=" << seed0
+              << ")\nGates: speed within "
+              << fmt_fixed(100.0 * max_fit_err, 0)
+              << "% of the analytic pace, decay length within a "
+                 "factor "
+              << fmt_fixed(decay_band, 1)
+              << " of the mean-field prediction.\n\n";
+
+    const auto scenario =
+        [&](int period, double sigma, std::uint64_t seed) {
+            delaywave::Scenario s = proto;
+            s.iterations = base_iters * period;
+            s.period = period;
+            s.noise_sigma = sigma;
+            s.seed = seed;
+            return s;
+        };
+
+    // Baselines: one per (period, sigma, seed), shared by every
+    // delay and injection rank. Never armed — a baseline probes no
+    // fault site.
+    std::vector<delaywave::Scenario> base_batch;
+    std::map<std::tuple<int, double, std::uint64_t>, std::size_t>
+        base_index;
+    for (const int period : periods)
+        for (const double sigma : sigmas)
+            for (int rep = 0; rep < seeds; ++rep) {
+                const auto seed =
+                    seed0 + static_cast<std::uint64_t>(rep);
+                base_index[{period, sigma, seed}] = base_batch.size();
+                base_batch.push_back(scenario(period, sigma, seed));
+            }
+    const auto baselines = delaywave::capture_sweep(base_batch, threads);
+
+    // Injected captures, one armed sweep per delay magnitude (the
+    // clause parameter is the delay, so different delays cannot
+    // share a schedule).
+    struct Row {
+        int period = 0;
+        double sigma = 0.0;
+        double delay = 0.0;
+        int rank = 0;
+        sim::wave::Fit fit;
+        sim::wave::Prediction pred;
+    };
+    std::vector<Row> rows;
+    sim::Timeline chart_injected;
+    sim::Timeline chart_baseline;
+    int chart_period = 1;
+    double chart_delay = 0.0;
+    double chart_sigma = 0.0;
+
+    for (const double delay : delays) {
+        std::vector<delaywave::Scenario> batch;
+        for (const int period : periods)
+            for (const double sigma : sigmas)
+                for (const int rank : inject_ranks)
+                    for (int rep = 0; rep < seeds; ++rep) {
+                        auto s = scenario(
+                            period, sigma,
+                            seed0 + static_cast<std::uint64_t>(rep));
+                        s.injections = {
+                            BspInjection{rank, inject_iter}};
+                        batch.push_back(s);
+                    }
+        if (!user_armed)
+            fault::arm(1, "bsp.inject:slow:1:" +
+                              std::to_string(static_cast<int>(
+                                  delay * 1000.0)));
+        const auto captures = delaywave::capture_sweep(batch, threads);
+        if (!user_armed)
+            fault::disarm();
+
+        std::size_t i = 0;
+        for (const int period : periods)
+            for (const double sigma : sigmas)
+                for (const int rank : inject_ranks) {
+                    std::vector<sim::wave::Observed> runs;
+                    for (int rep = 0; rep < seeds; ++rep, ++i) {
+                        const auto& injected = captures[i];
+                        const auto& baseline = baselines
+                            [base_index[{period, sigma,
+                                         batch[i].seed}]];
+                        runs.push_back(sim::wave::extract_fronts(
+                            injected.timeline, baseline.timeline,
+                            rank, inject_iter, 0.5 * delay));
+                        // Showcase chart: the last sweep point's
+                        // first seed at the mid-chain rank.
+                        if (rep == 0 && rank == inject_ranks.back()) {
+                            chart_injected = injected.timeline;
+                            chart_baseline = baseline.timeline;
+                            chart_period = period;
+                            chart_delay = delay;
+                            chart_sigma = sigma;
+                        }
+                    }
+                    Row row;
+                    row.period = period;
+                    row.sigma = sigma;
+                    row.delay = delay;
+                    row.rank = rank;
+                    row.fit = sim::wave::fit_waves(runs);
+                    row.pred = sim::wave::analytic(
+                        delaywave::analytic_model(
+                            scenario(period, sigma, seed0), delay));
+                    rows.push_back(row);
+                }
+    }
+
+    Table csv({"period", "sigma", "delay", "inject_rank", "ranks_used",
+               "fit_ranks_per_iter", "fit_ranks_per_sec",
+               "model_ranks_per_sec", "speed_err", "fit_decay_len",
+               "model_decay_len", "verdict"});
+    std::cout << "period sigma delay rank |   r/s  model   err% |"
+                 "     L  model ratio | verdict\n";
+    bool all_pass = true;
+    double worst_err = 0.0;
+    for (const auto& row : rows) {
+        const double speed_err =
+            row.fit.converged
+                ? std::abs(row.fit.ranks_per_sec -
+                           row.pred.ranks_per_sec) /
+                      row.pred.ranks_per_sec
+                : 1.0;
+        worst_err = std::max(worst_err, speed_err);
+        const bool fit_inf = std::isinf(row.fit.decay_length);
+        const bool model_inf = std::isinf(row.pred.decay_length);
+        bool decay_ok = false;
+        double ratio = 0.0;
+        if (model_inf) {
+            decay_ok = fit_inf;
+            ratio = 1.0;
+        } else if (!fit_inf) {
+            ratio = row.fit.decay_length / row.pred.decay_length;
+            decay_ok = ratio >= 1.0 / decay_band &&
+                       ratio <= decay_band;
+        }
+        const bool pass = row.fit.converged &&
+                          speed_err <= max_fit_err && decay_ok;
+        all_pass = all_pass && pass;
+        const char* verdict = pass ? "pass" : "FAIL";
+        std::cout << "    " << row.period << "  " << fmt_fixed(row.sigma, 2)
+                  << "  " << fmt_fixed(row.delay, 2) << "   " << row.rank
+                  << (row.rank < 10 ? "  " : " ") << "| "
+                  << fmt_fixed(row.fit.ranks_per_sec, 2) << "   "
+                  << fmt_fixed(row.pred.ranks_per_sec, 2) << "   "
+                  << fmt_fixed(100.0 * speed_err, 1) << "% | "
+                  << fmt_len(row.fit.decay_length) << "   "
+                  << fmt_len(row.pred.decay_length) << "  "
+                  << (model_inf ? std::string("-")
+                                : fmt_fixed(ratio, 2))
+                  << " | " << verdict << '\n';
+        csv.add_row({std::to_string(row.period), fmt_fixed(row.sigma, 2),
+                     fmt_fixed(row.delay, 2), std::to_string(row.rank),
+                     std::to_string(row.fit.ranks_used),
+                     fmt_fixed(row.fit.ranks_per_iter, 4),
+                     fmt_fixed(row.fit.ranks_per_sec, 4),
+                     fmt_fixed(row.pred.ranks_per_sec, 4),
+                     fmt_fixed(speed_err, 4),
+                     fmt_len(row.fit.decay_length),
+                     fmt_len(row.pred.decay_length), verdict});
+    }
+
+    std::cout << "\nShowcase wave (period=" << chart_period
+              << ", sigma=" << fmt_fixed(chart_sigma, 2)
+              << ", delay=" << fmt_fixed(chart_delay, 2) << "s):\n";
+    print_wave_chart(std::cout, chart_injected, chart_baseline,
+                     chart_period, chart_delay);
+
+    if (cli.has("csv")) {
+        std::cout << "\n--- CSV ---\n";
+        csv.print_csv(std::cout);
+    }
+    std::cout << "\nGATE: " << (all_pass ? "PASS" : "FAIL")
+              << " (worst speed err "
+              << fmt_fixed(100.0 * worst_err, 1) << "% vs limit "
+              << fmt_fixed(100.0 * max_fit_err, 1) << "%)\n";
+    return all_pass ? 0 : 1;
+}

@@ -109,6 +109,11 @@ inline constexpr const char* kObsNames[] = {
     "scorer.calibration_runs",
     "scorer.probe_runs",
     "scorer.score:*",
+    // BSP driver: armed "bsp.inject" slow clauses actually applied
+    "bsp.injected",
+    // delay-wave study captures (workload/delaywave.cpp)
+    "wave.captures",
+    "wave.crashed_ranks",
     // sim engine
     "sim.computes",
     "sim.contention_solves",

@@ -1,5 +1,6 @@
 #include "sim/coordination.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.hpp"
@@ -28,6 +29,71 @@ Barrier::arrive(Callback resume)
     batch.swap(waiting_);
     for (auto& cb : batch)
         sim_.schedule(cost_, std::move(cb));
+}
+
+NeighborSync::NeighborSync(Simulation& sim, int size, int halo,
+                           double cost)
+    : sim_(sim), size_(size), halo_(halo), cost_(cost)
+{
+    require(size >= 1, "NeighborSync: size must be >= 1");
+    require(halo >= 1, "NeighborSync: halo must be >= 1");
+    require(cost >= 0.0, "NeighborSync: negative cost");
+    arrived_.assign(static_cast<std::size_t>(size), 0);
+    pending_.resize(static_cast<std::size_t>(size));
+}
+
+void
+NeighborSync::arrive(int rank, Callback resume)
+{
+    require(rank >= 0 && rank < size_,
+            "NeighborSync: rank out of range");
+    const auto r = static_cast<std::size_t>(rank);
+    invariant(!pending_[r],
+              "NeighborSync: rank arrived again before release");
+    ++arrived_[r];
+    pending_[r] = std::move(resume);
+    // Only ranks whose neighborhood contains this rank can have become
+    // releasable; releases change no arrival count, so one pass over
+    // that window settles everything.
+    release_ready(std::max(0, rank - halo_),
+                  std::min(size_ - 1, rank + halo_));
+}
+
+void
+NeighborSync::release_ready(int lo, int hi)
+{
+    for (int c = lo; c <= hi; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        if (!pending_[ci])
+            continue;
+        bool ready = true;
+        const int nlo = std::max(0, c - halo_);
+        const int nhi = std::min(size_ - 1, c + halo_);
+        for (int n = nlo; n <= nhi && ready; ++n)
+            ready = arrived_[static_cast<std::size_t>(n)] >=
+                    arrived_[ci];
+        if (!ready)
+            continue;
+        Callback cb;
+        cb.swap(pending_[ci]);
+        sim_.schedule(cost_, std::move(cb));
+    }
+}
+
+int
+NeighborSync::arrivals(int rank) const
+{
+    require(rank >= 0 && rank < size_,
+            "NeighborSync: rank out of range");
+    return arrived_[static_cast<std::size_t>(rank)];
+}
+
+bool
+NeighborSync::waiting(int rank) const
+{
+    require(rank >= 0 && rank < size_,
+            "NeighborSync: rank out of range");
+    return static_cast<bool>(pending_[static_cast<std::size_t>(rank)]);
 }
 
 TaskPool::TaskPool(Simulation& sim,

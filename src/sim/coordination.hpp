@@ -17,6 +17,12 @@
  *    aggregate throughput — not the worst node — sets the pace
  *    ("proportional propagation"), with per-stage shuffle barriers
  *    reintroducing a straggler tail.
+ *  - NeighborSync: point-to-point nearest-neighbor coupling (halo
+ *    exchange). A rank only waits for the ranks within its halo, so a
+ *    local delay travels outward one neighborhood per sync instead of
+ *    stalling everyone at once — the regime in which the
+ *    Afzal–Hager–Wellein idle-wave model applies and which the
+ *    delay-wave validation study (DESIGN.md §11) exercises.
  */
 
 #include <deque>
@@ -59,6 +65,57 @@ class Barrier {
     double cost_;
     int cycles_ = 0;
     std::vector<Callback> waiting_;
+};
+
+/**
+ * Nearest-neighbor synchronization over an open chain of ranks.
+ *
+ * Rank r's a-th arrival is released once every rank in its
+ * neighborhood [r - halo, r + halo] (clamped to the chain, so edge
+ * ranks wait on fewer peers) has arrived at least a times, plus the
+ * point-to-point latency @c cost. Releases depend only on neighbor
+ * *arrivals*, never on neighbor releases, so distant parts of the
+ * chain run arbitrarily skewed — exactly the coupling that turns a
+ * one-off delay into an idle wave traveling halo ranks per sync
+ * (Afzal–Hager–Wellein) instead of the Barrier's instant whole-app
+ * stall. Release checks scan candidate ranks in ascending order, so
+ * same-time releases enter the event queue in rank order
+ * deterministically.
+ */
+class NeighborSync {
+  public:
+    /**
+     * @param sim  owning simulation (must outlive the sync)
+     * @param size chain length, >= 1
+     * @param halo neighborhood radius in ranks, >= 1
+     * @param cost point-to-point latency applied at release, >= 0
+     */
+    NeighborSync(Simulation& sim, int size, int halo, double cost);
+
+    /**
+     * Arrive at the sync as @p rank; @p resume runs once the whole
+     * clamped neighborhood has matched this arrival count (plus the
+     * latency). A rank must be released before it may arrive again.
+     */
+    void arrive(int rank, Callback resume);
+
+    /** Arrivals recorded for a rank so far. */
+    int arrivals(int rank) const;
+
+    /** True while the rank's latest arrival awaits its neighbors. */
+    bool waiting(int rank) const;
+
+  private:
+    /** Release every waiting rank in [lo, hi] whose neighborhood has
+     *  caught up, in ascending rank order. */
+    void release_ready(int lo, int hi);
+
+    Simulation& sim_;
+    int size_;
+    int halo_;
+    double cost_;
+    std::vector<int> arrived_;
+    std::vector<Callback> pending_;
 };
 
 /**

@@ -19,6 +19,7 @@
 
 #include "common/rng.hpp"
 #include "sim/engine.hpp"
+#include "sim/timeline.hpp"
 #include "workload/app_spec.hpp"
 
 namespace imc::workload {
@@ -36,6 +37,15 @@ struct LaunchOptions {
     double extra_noise_sigma = 0.0;
     /** Multiplier on all compute work (e.g. Dom0 CPU starvation). */
     double work_scale = 1.0;
+    /**
+     * Optional per-iteration timeline capture (delay-wave study).
+     * Null — the default — records nothing: drivers guard every stamp
+     * behind one pointer test, the structured-capture analogue of the
+     * IMC_OBS_* gating discipline, and recording never feeds back
+     * into the simulation. Must outlive the run. Currently stamped by
+     * the BSP driver; other templates ignore it.
+     */
+    sim::TimelineRecorder* timeline = nullptr;
     /** Invoked exactly once when the application completes. */
     sim::Callback on_complete;
 };

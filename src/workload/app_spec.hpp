@@ -15,6 +15,7 @@
  */
 
 #include <string>
+#include <vector>
 
 #include "sim/contention.hpp"
 
@@ -33,6 +34,21 @@ enum class AppKind {
     /** Open-loop latency-serving app: Zipf-keyed request arrivals,
      *  per-VM token buckets and FIFO queues, p99 as the metric. */
     Service,
+};
+
+/**
+ * One one-off delay target inside a BSP run (delay-wave study,
+ * DESIGN.md §11): the compute segment of global process @c rank at
+ * iteration @c iter consults the "bsp.inject" fault site when it
+ * completes, and an armed slow clause stretches that segment by the
+ * clause's delay — the simulated analogue of the injected busy-loop
+ * in the Afzal–Hager–Wellein experiments.
+ */
+struct BspInjection {
+    /** Global process rank (node-major), >= 0. */
+    int rank = 0;
+    /** Iteration whose compute segment the delay extends, >= 0. */
+    int iter = 0;
 };
 
 /** Parameters of the bulk-synchronous template. */
@@ -58,6 +74,22 @@ struct BspParams {
     double node_noise_base = 0.02;
     /** Interference scaling of the node-correlated noise. */
     double node_noise_slope = 0.18;
+    /**
+     * Nearest-neighbor synchronization radius. 0 (the default) keeps
+     * the global-barrier collective; >= 1 replaces it with a
+     * sim::NeighborSync of that halo width at the same
+     * iters_per_collective cadence, so a rank only waits for ranks
+     * within +-halo — the point-to-point coupling under which a
+     * one-off delay travels as an idle wave of halo ranks per sync
+     * instead of stalling the whole application at once.
+     */
+    int neighbor_halo = 0;
+    /**
+     * One-off delay targets. Empty (the default) skips the fault
+     * probe entirely, so the recorded figures never pay for it; see
+     * BspInjection.
+     */
+    std::vector<BspInjection> injections;
 };
 
 /** Parameters of the dynamic task-pool template. */

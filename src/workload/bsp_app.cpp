@@ -1,8 +1,11 @@
 #include "workload/bsp_app.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/obs.hpp"
 
 namespace imc::workload {
 
@@ -10,15 +13,25 @@ BspApp::BspApp(sim::Simulation& sim, AppSpec spec, LaunchOptions opts)
     : RunningApp(sim, std::move(spec), std::move(opts)),
       // Base members (spec_, total_procs_) are initialized before the
       // derived member-init list runs, so they are safe to use here.
-      barrier_(sim_, total_procs_, spec_.bsp.collective_cost)
+      barrier_(sim_, total_procs_, spec_.bsp.collective_cost),
+      neighbor_(sim_, total_procs_,
+                std::max(1, spec_.bsp.neighbor_halo),
+                spec_.bsp.collective_cost)
 {
     const auto& params = spec_.bsp;
     require(params.iterations >= 1, "BspApp: iterations must be >= 1");
     require(params.iters_per_collective >= 1,
             "BspApp: iters_per_collective must be >= 1");
+    require(params.neighbor_halo >= 0,
+            "BspApp: neighbor_halo must be >= 0");
+    for (const auto& inj : params.injections)
+        require(inj.rank >= 0 && inj.iter >= 0,
+                "BspApp: injection rank/iter must be >= 0");
 
     register_tenants();
     node_seed_ = opts_.rng.fork("node-noise").seed();
+    if (opts_.timeline)
+        opts_.timeline->reset(total_procs_, params.iterations);
 
     procs_.resize(static_cast<std::size_t>(total_procs_));
     std::size_t idx = 0;
@@ -72,6 +85,9 @@ BspApp::step(std::size_t idx)
     const double work = spec_.bsp.work_per_iter * imbalance * noise *
                         node_factor * opts_.work_scale *
                         dom0_factor(node_idx);
+    if (opts_.timeline)
+        opts_.timeline->compute_start(static_cast<int>(idx), ps.iter,
+                                      sim_.now());
     sim_.compute(ps.proc, work, [this, idx] { segment_done(idx); });
 }
 
@@ -80,7 +96,47 @@ BspApp::segment_done(std::size_t idx)
 {
     if (detached())
         return;
+    // An injected one-off delay extends *this* compute segment — pure
+    // simulated time, no extra RNG draws, so the same seed replays the
+    // identical noise field with and without the injection and their
+    // timelines subtract into an exact lateness field.
+    const double delay = injected_delay(idx, procs_[idx].iter);
+    if (delay > 0.0) {
+        sim_.schedule(delay, [this, idx] { finish_segment(idx); });
+        return;
+    }
+    finish_segment(idx);
+}
+
+double
+BspApp::injected_delay(std::size_t idx, int iter) const
+{
+    for (const auto& inj : spec_.bsp.injections) {
+        if (inj.rank != static_cast<int>(idx) || inj.iter != iter)
+            continue;
+        const auto outcome = IMC_FAULT_PROBE(
+            "bsp.inject",
+            spec_.abbrev + ":r" + std::to_string(idx) + ":i" +
+                std::to_string(iter),
+            0);
+        if (outcome.delay_ms > 0.0) {
+            IMC_OBS_COUNT("bsp.injected");
+            return outcome.delay_ms / 1000.0;
+        }
+    }
+    return 0.0;
+}
+
+void
+BspApp::finish_segment(std::size_t idx)
+{
+    if (detached())
+        return;
     auto& ps = procs_[idx];
+    const int iter_done = ps.iter;
+    if (opts_.timeline)
+        opts_.timeline->compute_end(static_cast<int>(idx), iter_done,
+                                    sim_.now());
     ++ps.iter;
     ++ps.since_collective;
     const bool at_collective =
@@ -88,8 +144,22 @@ BspApp::segment_done(std::size_t idx)
         ps.iter >= spec_.bsp.iterations; // final sync before exit
     if (at_collective) {
         ps.since_collective = 0;
-        barrier_.arrive([this, idx] { step(idx); });
+        auto resume = [this, idx, iter_done] {
+            if (detached())
+                return;
+            if (opts_.timeline)
+                opts_.timeline->release(static_cast<int>(idx),
+                                        iter_done, sim_.now());
+            step(idx);
+        };
+        if (spec_.bsp.neighbor_halo >= 1)
+            neighbor_.arrive(static_cast<int>(idx), std::move(resume));
+        else
+            barrier_.arrive(std::move(resume));
     } else {
+        if (opts_.timeline)
+            opts_.timeline->release(static_cast<int>(idx), iter_done,
+                                    sim_.now());
         step(idx);
     }
 }

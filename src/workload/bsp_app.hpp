@@ -12,6 +12,14 @@
  * "high propagation" class (Section 3.2). Work imbalance across
  * processes plus run-to-run noise determine how much *additional*
  * interfering nodes still hurt once one node is already slow.
+ *
+ * Two opt-in extensions serve the delay-wave validation study
+ * (DESIGN.md §11): spec.bsp.neighbor_halo >= 1 swaps the global
+ * barrier for nearest-neighbor coupling (sim::NeighborSync), and
+ * spec.bsp.injections marks compute segments whose completion probes
+ * the "bsp.inject" fault site so an armed slow clause stretches
+ * exactly that segment. Both default off and leave the recorded
+ * figures' code path untouched.
  */
 
 #include <vector>
@@ -38,12 +46,19 @@ class BspApp : public RunningApp {
     /** Issue the next compute segment (or finish) for a process. */
     void step(std::size_t idx);
 
-    /** Compute-segment completion: barrier or next iteration. */
+    /** Compute-segment completion: injected delay, then bookkeeping. */
     void segment_done(std::size_t idx);
+
+    /** Post-delay completion: stamp, then sync or next iteration. */
+    void finish_segment(std::size_t idx);
+
+    /** Injected one-off delay (seconds) for this segment, usually 0. */
+    double injected_delay(std::size_t idx, int iter) const;
 
     void halt_procs() override;
 
     sim::Barrier barrier_;
+    sim::NeighborSync neighbor_;
     std::vector<ProcState> procs_;
     /** Seed of the node-correlated per-iteration noise stream. */
     std::uint64_t node_seed_ = 0;

@@ -84,6 +84,12 @@ put_app(std::string& out, const AppSpec& app)
     put_int(out, app.bsp.iters_per_collective);
     put_double(out, app.bsp.node_noise_base);
     put_double(out, app.bsp.node_noise_slope);
+    put_int(out, app.bsp.neighbor_halo);
+    put_u64(out, app.bsp.injections.size());
+    for (const auto& inj : app.bsp.injections) {
+        put_int(out, inj.rank);
+        put_int(out, inj.iter);
+    }
     put_int(out, app.pool.stages);
     put_int(out, app.pool.tasks_per_wave);
     put_double(out, app.pool.task_work_mean);

@@ -37,7 +37,9 @@
 #include "placement/evaluator.hpp"
 #include "placement/recovery.hpp"
 #include "sim/engine.hpp"
+#include "sim/wave.hpp"
 #include "workload/catalog.hpp"
+#include "workload/delaywave.hpp"
 #include "workload/run_service.hpp"
 #include "workload/runner.hpp"
 
@@ -340,7 +342,7 @@ TEST(FaultRunService, RetriesMaskTransientFailures)
         direct.push_back(execute_request(req));
 
     // p(permanent) = 0.3^6 per request: this seed masks every fault.
-    const ArmGuard guard(11, "run.exec:fail:0.3");
+    const ArmGuard guard(1, "run.exec:fail:0.3");
     RunServiceOptions opts;
     opts.threads = 1;
     opts.max_attempts = 6;
@@ -1027,4 +1029,71 @@ TEST(FaultChaos, EmptyScheduleLeavesCampaignIdenticalToUnfaulted)
     }
     // And the armed run must not leave state behind.
     expect_same_outcomes(campaign_under(app, 4), unfaulted);
+}
+
+TEST(FaultDelaywave, CrashedNodesDegradeToAbsentRanksAndFitConverges)
+{
+    // The fig_delaywave scenario under a full chaos schedule: the
+    // injector clause drives the wave, a crash clause takes one node
+    // down mid-run (seed 1 -> exactly one of 24), and an inert
+    // run.exec clause rides along. The capture must degrade
+    // gracefully — crashed ranks marked absent, survivors starved at
+    // their next sync rather than wedged — and the wave fit must
+    // still converge on the surviving contiguous ranks.
+    workload::delaywave::Scenario s;
+    s.nodes = 24;
+    s.procs_per_node = 4;
+    s.iterations = 120;
+    s.noise_sigma = 0.0;
+    s.injections = {workload::BspInjection{48, 4}};
+    workload::delaywave::Scenario base = s;
+    base.injections.clear();
+
+    const std::string spec =
+        "bsp.inject:slow:1:400,sim.crash:crash:0.15,run.exec:fail:0.2";
+    const auto run = [&](const workload::delaywave::Scenario& sc) {
+        const ArmGuard guard(1, spec);
+        return workload::delaywave::capture(sc);
+    };
+    const auto baseline = run(base);
+    const auto injected = run(s);
+
+    EXPECT_EQ(injected.crashed_ranks, 4);
+    EXPECT_FALSE(injected.finished);
+    int absent = 0;
+    for (int r = 0; r < injected.timeline.ranks(); ++r)
+        if (injected.timeline.absent(r))
+            ++absent;
+    EXPECT_EQ(absent, injected.crashed_ranks);
+
+    const auto obs = sim::wave::extract_fronts(
+        injected.timeline, baseline.timeline, 48, 4, 0.2);
+    for (const auto& f : obs.fronts)
+        EXPECT_FALSE(injected.timeline.absent(f.rank));
+    const auto fit = sim::wave::fit_wave(obs);
+    ASSERT_TRUE(fit.converged);
+    // The run is silent, so the surviving ranks still obey the exact
+    // one-hop-per-iteration law.
+    EXPECT_NEAR(fit.ranks_per_iter, 1.0, 1e-9);
+    EXPECT_NEAR(fit.amplitude0, 0.4, 1e-9);
+}
+
+TEST(FaultDelaywave, CrashingCaptureIsDeterministic)
+{
+    workload::delaywave::Scenario s;
+    s.nodes = 24;
+    s.procs_per_node = 4;
+    s.iterations = 120;
+    s.noise_sigma = 0.1;
+    s.injections = {workload::BspInjection{48, 4}};
+    const std::string spec = "bsp.inject:slow:1:400,sim.crash:crash:0.15";
+    const auto once = [&] {
+        const ArmGuard guard(1, spec);
+        return workload::delaywave::capture(s);
+    };
+    const auto a = once();
+    const auto b = once();
+    EXPECT_GT(a.crashed_ranks, 0);
+    EXPECT_EQ(a.crashed_ranks, b.crashed_ranks);
+    EXPECT_EQ(a.timeline.canonical_bytes(), b.timeline.canonical_bytes());
 }
